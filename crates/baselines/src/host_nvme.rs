@@ -1,0 +1,545 @@
+//! The ZeRO-Infinity-style host NVMe-offload baseline.
+//!
+//! Optimizer state lives on flash in the same layout OptimStore uses (the
+//! layout is free either way); the difference is the update *path*:
+//!
+//! 1. during backward, fp16 gradients are **spilled** to flash
+//!    ([`HostNvmeBaseline::spill_gradients`], not charged to the step);
+//! 2. the step **reads** every state page and the gradient page to the
+//!    host over `array → bus → DRAM → PCIe`;
+//! 3. the host updater (a streaming CPU/GPU kernel, modelled as a
+//!    throughput pipeline) applies the rule;
+//! 4. the step **writes** every updated page back down the same path.
+//!
+//! Functionally the baseline runs the identical kernels, so its results
+//! are bit-exact against the in-storage engine — the comparison is purely
+//! about time, traffic and energy.
+
+use optim_math::kernels::{encode_grads, update_chunk};
+use optim_math::state::StateLayoutSpec;
+use optim_math::{F16, Optimizer};
+use optimstore_core::energy::{ActivityCounts, EnergyModel};
+use optimstore_core::{
+    CoreError, LayoutPolicy, StateComponent, StateLayout, StepReport,
+};
+use optimstore_core::report::TrafficBytes;
+use simkit::{SimDuration, SimTime, Timeline};
+use ssdsim::{Device, SsdConfig};
+
+/// Host-side configuration of the offload baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostNvmeConfig {
+    /// Host updater throughput over state bytes (a streaming
+    /// read-modify-write over host DRAM; 20 GB/s ≈ dual-channel DDR4).
+    pub update_bytes_per_sec: u64,
+}
+
+impl Default for HostNvmeConfig {
+    fn default() -> Self {
+        HostNvmeConfig {
+            update_bytes_per_sec: 20_000_000_000,
+        }
+    }
+}
+
+/// The host NVMe-offload baseline system.
+#[derive(Debug)]
+pub struct HostNvmeBaseline {
+    device: Device,
+    layout: StateLayout,
+    spec: StateLayoutSpec,
+    optimizer: Box<dyn Optimizer>,
+    host: Timeline,
+    host_cfg: HostNvmeConfig,
+    energy_model: EnergyModel,
+    step: u64,
+}
+
+impl HostNvmeBaseline {
+    /// Creates a phantom-mode (timing-only) baseline.
+    pub fn new(
+        ssd: SsdConfig,
+        host_cfg: HostNvmeConfig,
+        params: u64,
+        optimizer: Box<dyn Optimizer>,
+        spec: StateLayoutSpec,
+    ) -> Result<Self, CoreError> {
+        Self::build(Device::new(ssd), host_cfg, params, optimizer, spec)
+    }
+
+    /// Creates a functional baseline.
+    pub fn new_functional(
+        ssd: SsdConfig,
+        host_cfg: HostNvmeConfig,
+        params: u64,
+        optimizer: Box<dyn Optimizer>,
+        spec: StateLayoutSpec,
+    ) -> Result<Self, CoreError> {
+        Self::build(Device::new_functional(ssd), host_cfg, params, optimizer, spec)
+    }
+
+    fn build(
+        device: Device,
+        host_cfg: HostNvmeConfig,
+        params: u64,
+        optimizer: Box<dyn Optimizer>,
+        spec: StateLayoutSpec,
+    ) -> Result<Self, CoreError> {
+        if optimizer.kind() != spec.kind {
+            return Err(CoreError::Config(format!(
+                "optimizer {:?} does not match layout spec {:?}",
+                optimizer.kind(),
+                spec.kind
+            )));
+        }
+        if host_cfg.update_bytes_per_sec == 0 {
+            return Err(CoreError::Config("host updater throughput must be positive".into()));
+        }
+        // Gradients are spilled to flash, so they occupy layout pages.
+        let layout = StateLayout::new(
+            LayoutPolicy::CoLocated,
+            params,
+            optimizer.state_slots() as u8,
+            device.config().nand.geometry.page_bytes,
+            device.config().total_dies(),
+            true,
+        );
+        if layout.required_pages() > device.logical_pages() {
+            return Err(CoreError::CapacityExceeded {
+                need: layout.required_pages(),
+                have: device.logical_pages(),
+            });
+        }
+        Ok(HostNvmeBaseline {
+            device,
+            layout,
+            spec,
+            optimizer,
+            host: Timeline::new("host-updater"),
+            host_cfg,
+            energy_model: EnergyModel::default(),
+            step: 0,
+        })
+    }
+
+    /// The state layout in use.
+    pub fn layout(&self) -> &StateLayout {
+        &self.layout
+    }
+
+    /// The underlying SSD.
+    pub fn ssd(&self) -> &Device {
+        &self.device
+    }
+
+    /// Completed steps.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    fn page_bytes(&self) -> usize {
+        self.device.page_bytes()
+    }
+
+    /// Loads initial weights (functional mode), mirroring
+    /// [`optimstore_core::OptimStoreDevice::load_weights`].
+    pub fn load_weights(&mut self, weights: &[f32], at: SimTime) -> Result<SimTime, CoreError> {
+        if weights.len() as u64 != self.layout.params() {
+            return Err(CoreError::GradLength {
+                got: weights.len(),
+                want: self.layout.params(),
+            });
+        }
+        let pb = self.page_bytes();
+        let mut end = at;
+        for g in 0..self.layout.num_groups() {
+            let group = self.layout.group(g);
+            let start = group.param_start as usize;
+            let count = group.param_count as usize;
+            let mut w32 = vec![0u8; 2 * pb];
+            for (i, &w) in weights[start..start + count].iter().enumerate() {
+                w32[4 * i..4 * i + 4].copy_from_slice(&w.to_le_bytes());
+            }
+            for idx in 0..2u32 {
+                let lpn = self.layout.lpn(g, StateComponent::Master, idx);
+                let page = &w32[idx as usize * pb..(idx as usize + 1) * pb];
+                end = end.max(self.device.host_write_page(lpn, Some(page), at)?.end);
+            }
+            let zero = vec![0u8; pb];
+            for s in 0..self.layout.slots() {
+                for idx in 0..2u32 {
+                    let lpn = self.layout.lpn(g, StateComponent::Slot(s), idx);
+                    end = end.max(self.device.host_write_page(lpn, Some(&zero), at)?.end);
+                }
+            }
+            let mut w16 = vec![0u8; pb];
+            for (i, &w) in weights[start..start + count].iter().enumerate() {
+                w16[2 * i..2 * i + 2].copy_from_slice(&F16::from_f32(w).to_le_bytes());
+            }
+            let lpn = self.layout.lpn(g, StateComponent::Weight16, 0);
+            end = end.max(self.device.host_write_page(lpn, Some(&w16), at)?.end);
+            let lpn = self.layout.lpn(g, StateComponent::Grad, 0);
+            end = end.max(self.device.host_write_page(lpn, Some(&zero), at)?.end);
+        }
+        Ok(end)
+    }
+
+    /// Initializes phantom state (dataless pages).
+    pub fn load_phantom(&mut self, at: SimTime) -> Result<SimTime, CoreError> {
+        let mut end = at;
+        for g in 0..self.layout.num_groups() {
+            for (comp, idx) in self.layout.write_set() {
+                let lpn = self.layout.lpn(g, comp, idx);
+                end = end.max(self.device.host_write_page(lpn, None, at)?.end);
+            }
+            let lpn = self.layout.lpn(g, StateComponent::Grad, 0);
+            end = end.max(self.device.host_write_page(lpn, None, at)?.end);
+        }
+        Ok(end)
+    }
+
+    /// Spills gradients to flash (the backward-phase traffic; ZeRO-Infinity
+    /// offloads gradients to NVMe). Not charged to the optimizer step —
+    /// it overlaps backward compute. Returns the spill completion time.
+    pub fn spill_gradients(
+        &mut self,
+        grads: Option<&[f32]>,
+        at: SimTime,
+    ) -> Result<SimTime, CoreError> {
+        if self.device.is_functional() {
+            match grads {
+                Some(g) if g.len() as u64 == self.layout.params() => {}
+                Some(g) => {
+                    return Err(CoreError::GradLength {
+                        got: g.len(),
+                        want: self.layout.params(),
+                    })
+                }
+                None => return Err(CoreError::ModeMismatch("functional spill needs gradients")),
+            }
+        }
+        let pb = self.page_bytes();
+        let mut end = at;
+        for g in 0..self.layout.num_groups() {
+            let group = self.layout.group(g);
+            let data: Option<Vec<u8>> = grads.map(|gr| {
+                let start = group.param_start as usize;
+                let count = group.param_count as usize;
+                let mut page = encode_grads(&gr[start..start + count], self.spec.grad_dtype);
+                page.resize(pb, 0);
+                page
+            });
+            let lpn = self.layout.lpn(g, StateComponent::Grad, 0);
+            end = end.max(self.device.host_write_page(lpn, data.as_deref(), at)?.end);
+        }
+        Ok(end)
+    }
+
+    /// Executes one host-offload optimizer step: read up, update on host,
+    /// write back. Gradients must have been spilled for this step already.
+    pub fn run_step(&mut self, at: SimTime) -> Result<StepReport, CoreError> {
+        self.step += 1;
+        let functional = self.device.is_functional();
+        let pb = self.page_bytes();
+        let before = self.snapshot();
+        let mut step_end = at;
+
+        // Batched two-phase issue, one group per die per batch: all of a
+        // batch's reads (and the host updates they feed) are issued before
+        // any of its write-backs, keeping issue order consistent with start
+        // times on the shared PCIe/DRAM/bus resources. Interleaving each
+        // group's late writes before the next group's early reads would
+        // create false convoys under busy-until arbitration — an artifact a
+        // real NVMe queue pair does not have.
+        struct PendingWrite {
+            g: u64,
+            host_end: SimTime,
+            new_pages: Vec<(StateComponent, u32, Vec<u8>)>,
+        }
+        let batch = self.device.config().total_dies() as u64;
+        let num_groups = self.layout.num_groups();
+        let mut batch_start = 0u64;
+        while batch_start < num_groups {
+            let batch_end = (batch_start + batch).min(num_groups);
+            let mut pending: Vec<PendingWrite> = Vec::with_capacity(batch as usize);
+
+            for g in batch_start..batch_end {
+            // ---- read state + gradient up to the host ------------------
+            let mut host_start = at;
+            let mut pages: Vec<(StateComponent, u32, Option<bytes::Bytes>)> = Vec::new();
+            for (comp, idx) in self.layout.read_set() {
+                let lpn = self.layout.lpn(g, comp, idx);
+                let (win, data) = self.device.host_read_page(lpn, at)?;
+                host_start = host_start.max(win.end);
+                pages.push((comp, idx, data));
+            }
+
+            // ---- host update --------------------------------------------
+            let work_bytes = (self.layout.read_set().len() + self.layout.write_set().len())
+                as u64
+                * pb as u64;
+            let service =
+                SimDuration::for_transfer(work_bytes, self.host_cfg.update_bytes_per_sec);
+            let host = self.host.acquire(host_start, service);
+
+            // ---- functional update --------------------------------------
+            let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
+            if functional {
+                let find = |comp: StateComponent, idx: u32| -> &bytes::Bytes {
+                    pages
+                        .iter()
+                        .find(|(c, i, _)| *c == comp && *i == idx)
+                        .and_then(|(_, _, d)| d.as_ref())
+                        .expect("functional read returns data")
+                };
+                let mut w32 = Vec::with_capacity(2 * pb);
+                w32.extend_from_slice(find(StateComponent::Master, 0));
+                w32.extend_from_slice(find(StateComponent::Master, 1));
+                let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
+                    .map(|s| {
+                        let mut b = Vec::with_capacity(2 * pb);
+                        b.extend_from_slice(find(StateComponent::Slot(s), 0));
+                        b.extend_from_slice(find(StateComponent::Slot(s), 1));
+                        b
+                    })
+                    .collect();
+                let grad_bytes = find(StateComponent::Grad, 0).to_vec();
+                let mut w16 = vec![0u8; pb];
+                let mut slot_refs: Vec<&mut [u8]> =
+                    slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                update_chunk(
+                    self.optimizer.as_ref(),
+                    &mut w32,
+                    &mut slot_refs,
+                    &grad_bytes,
+                    &mut w16,
+                    self.spec.grad_dtype,
+                    self.step,
+                )
+                .expect("layout-derived buffers are consistent");
+                new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
+                new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
+                for (s, buf) in slot_bufs.iter().enumerate() {
+                    new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
+                    new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
+                }
+                new_pages.push((StateComponent::Weight16, 0, w16));
+            }
+
+            pending.push(PendingWrite {
+                g,
+                host_end: host.end,
+                new_pages,
+            });
+            }
+
+            // ---- write back ---------------------------------------------
+            for p in &pending {
+                for (comp, idx) in self.layout.write_set() {
+                    let lpn = self.layout.lpn(p.g, comp, idx);
+                    let data: Option<&[u8]> = if functional {
+                        Some(
+                            p.new_pages
+                                .iter()
+                                .find(|(c, i, _)| *c == comp && *i == idx)
+                                .map(|(_, _, d)| d.as_slice())
+                                .expect("every written page was produced"),
+                        )
+                    } else {
+                        None
+                    };
+                    let win = self.device.host_write_page(lpn, data, p.host_end)?;
+                    step_end = step_end.max(win.end);
+                }
+            }
+            batch_start = batch_end;
+        }
+
+        let after = self.snapshot();
+        Ok(self.make_report(at, step_end, before, after))
+    }
+
+    /// Reads back fp32 master weights (functional mode, verification).
+    pub fn read_master_weights(&mut self, at: SimTime) -> Result<Vec<f32>, CoreError> {
+        if !self.device.is_functional() {
+            return Err(CoreError::ModeMismatch("read_master_weights needs functional mode"));
+        }
+        let pb = self.page_bytes();
+        let mut out = Vec::with_capacity(self.layout.params() as usize);
+        for g in 0..self.layout.num_groups() {
+            let group = self.layout.group(g);
+            let mut raw = Vec::with_capacity(2 * pb);
+            for idx in 0..2u32 {
+                let lpn = self.layout.lpn(g, StateComponent::Master, idx);
+                let (_, data) = self.device.host_read_page(lpn, at)?;
+                raw.extend_from_slice(&data.expect("functional device has data"));
+            }
+            for i in 0..group.param_count as usize {
+                out.push(f32::from_le_bytes(raw[4 * i..4 * i + 4].try_into().unwrap()));
+            }
+        }
+        Ok(out)
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let mut bus = 0;
+        let mut array_read = 0;
+        let mut array_program = 0;
+        for ch in self.device.channels() {
+            bus += ch.bus().bytes_moved();
+            for d in ch.dies() {
+                array_read += d.stats().bytes_read.get();
+                array_program += d.stats().bytes_programmed.get();
+            }
+        }
+        Snapshot {
+            pcie_in: self.device.pcie_in().bytes_moved(),
+            pcie_out: self.device.pcie_out().bytes_moved(),
+            bus,
+            array_read,
+            array_program,
+            dram: self.device.dram().bytes_moved(),
+            erases: self.device.stats().erases.get(),
+            gc_copies: self.device.stats().gc_copies.get(),
+        }
+    }
+
+    fn make_report(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        before: Snapshot,
+        after: Snapshot,
+    ) -> StepReport {
+        let traffic = TrafficBytes {
+            pcie_in: after.pcie_in - before.pcie_in,
+            pcie_out: after.pcie_out - before.pcie_out,
+            bus: after.bus - before.bus,
+            array_read: after.array_read - before.array_read,
+            array_program: after.array_program - before.array_program,
+            dram: after.dram - before.dram,
+        };
+        let state_bytes = self.layout.params() * self.spec.state_write_bytes();
+        let counts = ActivityCounts {
+            array_read_bytes: traffic.array_read,
+            array_program_bytes: traffic.array_program,
+            erase_blocks: after.erases - before.erases,
+            bus_bytes: traffic.bus,
+            pcie_bytes: traffic.pcie_total(),
+            dram_bytes: traffic.dram,
+            host_bytes: traffic.pcie_total(), // staged through host memory
+            ndp_compute_bytes: 0,
+            host_compute_bytes: state_bytes,
+        };
+        StepReport {
+            tier: "host-nvme",
+            params: self.layout.params(),
+            start,
+            end,
+            duration: end - start,
+            traffic,
+            energy: counts.energy(&self.energy_model),
+            erases: after.erases - before.erases,
+            gc_copies: after.gc_copies - before.gc_copies,
+            groups_total: self.layout.num_groups(),
+            groups_skipped: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Snapshot {
+    pcie_in: u64,
+    pcie_out: u64,
+    bus: u64,
+    array_read: u64,
+    array_program: u64,
+    dram: u64,
+    erases: u64,
+    gc_copies: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optim_math::state::GradDtype;
+    use optim_math::{Adam, OptimizerKind};
+
+    fn spec() -> StateLayoutSpec {
+        StateLayoutSpec::new(OptimizerKind::Adam, GradDtype::F16)
+    }
+
+    #[test]
+    fn functional_step_runs_and_decreases_weights() {
+        let params = 5_000usize;
+        let weights = vec![1.0f32; params];
+        let grads = vec![0.5f32; params];
+        let mut b = HostNvmeBaseline::new_functional(
+            SsdConfig::tiny(),
+            HostNvmeConfig::default(),
+            params as u64,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap();
+        let t0 = b.load_weights(&weights, SimTime::ZERO).unwrap();
+        let t1 = b.spill_gradients(Some(&grads), t0).unwrap();
+        let r = b.run_step(t1).unwrap();
+        assert_eq!(b.step_count(), 1);
+        let out = b.read_master_weights(r.end).unwrap();
+        assert!(out.iter().all(|&w| w < 1.0));
+    }
+
+    #[test]
+    fn state_crosses_pcie_both_ways() {
+        let params = 50_000u64;
+        let mut b = HostNvmeBaseline::new(
+            SsdConfig::tiny(),
+            HostNvmeConfig::default(),
+            params,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap();
+        let t0 = b.load_phantom(SimTime::ZERO).unwrap();
+        let t1 = b.spill_gradients(None, t0).unwrap();
+        let r = b.run_step(t1).unwrap();
+        let pb = b.ssd().page_bytes() as u64;
+        let groups = b.layout().num_groups();
+        // Up: 6 state pages + 1 grad page per group. Down: 7 pages.
+        assert_eq!(r.traffic.pcie_out, groups * 7 * pb);
+        assert_eq!(r.traffic.pcie_in, groups * 7 * pb);
+        assert!(r.traffic.bus > 0);
+        assert_eq!(r.params, params);
+    }
+
+    #[test]
+    fn grad_length_validated_on_spill() {
+        let mut b = HostNvmeBaseline::new_functional(
+            SsdConfig::tiny(),
+            HostNvmeConfig::default(),
+            1000,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap();
+        b.load_weights(&vec![0.0; 1000], SimTime::ZERO).unwrap();
+        assert!(matches!(
+            b.spill_gradients(Some(&vec![0.0; 5]), SimTime::ZERO),
+            Err(CoreError::GradLength { got: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_host_rate_rejected() {
+        let err = HostNvmeBaseline::new(
+            SsdConfig::tiny(),
+            HostNvmeConfig { update_bytes_per_sec: 0 },
+            1000,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Config(_)));
+    }
+}

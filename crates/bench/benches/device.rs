@@ -1,0 +1,90 @@
+//! Criterion benchmarks of full simulated optimizer steps (host wall-clock
+//! cost of simulating one step on the tiny functional device, per tier).
+
+use baselines::{HostNvmeBaseline, HostNvmeConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use optim_math::state::{GradDtype, StateLayoutSpec};
+use optim_math::{Adam, OptimizerKind};
+use optimstore_core::{OptimStoreConfig, OptimStoreDevice};
+use simkit::SimTime;
+use ssdsim::SsdConfig;
+use std::hint::black_box;
+use workloads::{GradientGen, WeightInit};
+
+const PARAMS: usize = 20_000;
+
+fn bench_functional_steps(c: &mut Criterion) {
+    let weights = WeightInit::default().generate(PARAMS);
+    let gen = GradientGen::new(42);
+    let spec = StateLayoutSpec::new(OptimizerKind::Adam, GradDtype::F16);
+
+    let mut group = c.benchmark_group("functional-step-20k");
+    for (name, cfg) in [
+        ("die-ndp", OptimStoreConfig::die_ndp()),
+        ("channel-ndp", OptimStoreConfig::channel_ndp()),
+    ] {
+        group.bench_function(name, |b| {
+            let mut dev = OptimStoreDevice::new_functional(
+                SsdConfig::tiny(),
+                cfg,
+                PARAMS as u64,
+                Box::new(Adam::default()),
+                spec,
+            )
+            .unwrap();
+            let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+            let mut step = 0u64;
+            b.iter(|| {
+                step += 1;
+                let grads = gen.generate(step, PARAMS);
+                let r = dev.run_step(Some(&grads), at).unwrap();
+                at = r.end;
+                black_box(r.duration)
+            });
+        });
+    }
+    group.bench_function("host-nvme", |b| {
+        let mut dev = HostNvmeBaseline::new_functional(
+            SsdConfig::tiny(),
+            HostNvmeConfig::default(),
+            PARAMS as u64,
+            Box::new(Adam::default()),
+            spec,
+        )
+        .unwrap();
+        let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            let grads = gen.generate(step, PARAMS);
+            let t = dev.spill_gradients(Some(&grads), at).unwrap();
+            let r = dev.run_step(t).unwrap();
+            at = r.end;
+            black_box(r.duration)
+        });
+    });
+    group.finish();
+}
+
+fn bench_phantom_step(c: &mut Criterion) {
+    let spec = StateLayoutSpec::new(OptimizerKind::Adam, GradDtype::F16);
+    c.bench_function("phantom-step-2M-small-ssd", |b| {
+        let mut dev = OptimStoreDevice::new(
+            SsdConfig::small(),
+            OptimStoreConfig::die_ndp(),
+            2_000_000,
+            Box::new(Adam::default()),
+            spec,
+        )
+        .unwrap();
+        let mut at = dev.load_phantom(SimTime::ZERO).unwrap();
+        b.iter(|| {
+            let r = dev.run_step(None, at).unwrap();
+            at = r.end;
+            black_box(r.duration)
+        });
+    });
+}
+
+criterion_group!(benches, bench_functional_steps, bench_phantom_step);
+criterion_main!(benches);

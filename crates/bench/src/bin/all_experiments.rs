@@ -1,0 +1,10 @@
+//! Regenerates every reconstructed table and figure in one run.
+//! Pass a parameter cap as the first argument to trade fidelity for time.
+
+fn main() {
+    let cap = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(optimstore_bench::runners::DEFAULT_SLICE_CAP);
+    optimstore_bench::experiments::run_all(cap);
+}

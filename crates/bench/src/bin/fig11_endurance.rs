@@ -1,0 +1,5 @@
+//! Regenerates the reconstructed experiment `fig11_endurance` (see DESIGN.md §4).
+
+fn main() {
+    optimstore_bench::experiments::fig11_endurance();
+}

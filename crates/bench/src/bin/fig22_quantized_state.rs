@@ -1,0 +1,6 @@
+//! Regenerates the reconstructed experiment `fig22_quantized_state` (see
+//! DESIGN.md §4).
+
+fn main() {
+    optimstore_bench::experiments::fig22_quantized_state();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the reconstructed experiment `table14_correctness` (see DESIGN.md §4).
+
+fn main() {
+    optimstore_bench::experiments::table14_correctness();
+}

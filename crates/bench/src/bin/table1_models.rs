@@ -1,0 +1,5 @@
+//! Regenerates the reconstructed experiment `table1_models` (see DESIGN.md §4).
+
+fn main() {
+    optimstore_bench::experiments::table1_models();
+}

@@ -1,0 +1,5 @@
+//! Regenerates the reconstructed experiment `table2_ssd_config` (see DESIGN.md §4).
+
+fn main() {
+    optimstore_bench::experiments::table2_ssd_config();
+}

@@ -1,0 +1,40 @@
+//! Appendix A1: a gantt view of one in-storage optimizer step on a tiny
+//! device — reads (`r`), programs (`P`) and erases (`E`) per die over time.
+//! Shows the read→compute→program pipeline and the plane-level overlap the
+//! timing model produces.
+
+use optim_math::state::{GradDtype, StateLayoutSpec};
+use optim_math::{Adam, OptimizerKind};
+use optimstore_core::{OptimStoreConfig, OptimStoreDevice};
+use simkit::{SimDuration, SimTime};
+use ssdsim::trace::{gantt, peak_concurrency};
+use ssdsim::SsdConfig;
+
+fn main() {
+    let spec = StateLayoutSpec::new(OptimizerKind::Adam, GradDtype::F16);
+    let mut dev = OptimStoreDevice::new(
+        SsdConfig::tiny(),
+        OptimStoreConfig::die_ndp(),
+        40_000,
+        Box::new(Adam::default()),
+        spec,
+    )
+    .unwrap();
+    let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+    dev.enable_trace(4096); // trace only the step, not the load
+    let r = dev.run_step(None, t0).unwrap();
+    let events: Vec<_> = dev.trace_events().unwrap();
+    println!(
+        "one die-ndp step over {} ({} flash ops; r = read, P = program):\n",
+        r.duration,
+        events.len()
+    );
+    print!("{}", gantt(&events, SimDuration::from_us(200), 100));
+    println!("\n(each cell = 200 us)");
+    for die in 0..dev.ssd().config().total_dies() {
+        println!(
+            "die{die}: peak in-flight array ops = {}",
+            peak_concurrency(&events, die)
+        );
+    }
+}

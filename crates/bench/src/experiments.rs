@@ -1,0 +1,894 @@
+//! The reconstructed tables and figures (DESIGN.md §4).
+//!
+//! Each function prints one experiment's rows/series to stdout in the
+//! fixed-width format EXPERIMENTS.md records. Functions take a `cap`
+//! (maximum simulated parameters per run) so the `figures` bench target
+//! can trade fidelity for time; binaries use [`crate::runners::DEFAULT_SLICE_CAP`].
+
+use crate::runners::{
+    default_host_cfg, optimizer_and_spec, run_host_fleet, run_host_nvme, run_ndp, Measured,
+};
+use crate::table::{bar_chart, fmt_bytes, fmt_rate, fmt_secs, Table};
+use baselines::{HostNvmeBaseline, HostNvmeConfig};
+use dnn_model::{zoo, GpuSpec, IterationBreakdown, TrainingFootprint, ZeroPartition};
+use optim_math::kernels::{encode_grads, StateBuffers};
+use optim_math::state::{GradDtype, StateLayoutSpec};
+use optim_math::OptimizerKind;
+use optimstore_core::endurance::{analytic_erases_per_step, EnduranceReport};
+use optimstore_core::{
+    GradStaging, LayoutPolicy, OptimStoreConfig, OptimStoreDevice,
+};
+use simkit::SimTime;
+use ssdsim::{GcPolicy, Lpn, PciGen, SsdConfig};
+use workloads::{GradientGen, WeightInit};
+
+const ADAM: OptimizerKind = OptimizerKind::Adam;
+
+fn header(id: &str, title: &str) {
+    println!();
+    println!("=== {id}: {title} ===");
+}
+
+/// T1 — the model zoo with optimizer-state footprints and per-step traffic.
+pub fn table1_models() {
+    header("T1", "evaluation models and optimizer-state footprints (Adam, fp16 grads)");
+    let spec = StateLayoutSpec::new(ADAM, GradDtype::F16);
+    let mut t = Table::new(&[
+        "model", "layers", "hidden", "params", "flash state", "step traffic",
+    ]);
+    for m in zoo::evaluation_models() {
+        let f = TrainingFootprint::of(&m, &spec);
+        t.row(&[
+            m.name.into(),
+            m.layers.to_string(),
+            m.hidden.to_string(),
+            format!("{:.2} B", m.params_b()),
+            fmt_bytes(f.flash_resident_bytes()),
+            fmt_bytes(f.step_traffic_bytes()),
+        ]);
+    }
+    t.print();
+}
+
+/// T2 — the SSD configurations.
+pub fn table2_ssd_config() {
+    header("T2", "SSD configurations");
+    let mut t = Table::new(&[
+        "config", "channels", "dies/ch", "raw cap", "pcie/dir", "bus agg",
+        "array read", "array prog",
+    ]);
+    for (name, cfg) in [
+        ("small", SsdConfig::small()),
+        ("base", SsdConfig::base()),
+        ("big", SsdConfig::big()),
+    ] {
+        t.row(&[
+            name.into(),
+            cfg.channels.to_string(),
+            cfg.dies_per_channel.to_string(),
+            fmt_bytes(cfg.raw_bytes()),
+            fmt_rate(cfg.pcie.bytes_per_sec() as f64),
+            fmt_rate(cfg.aggregate_bus_bytes_per_sec() as f64),
+            fmt_rate(cfg.aggregate_array_read_bytes_per_sec() as f64),
+            fmt_rate(cfg.aggregate_array_program_bytes_per_sec() as f64),
+        ]);
+    }
+    t.print();
+}
+
+/// F3 — motivation: optimizer-step share of iteration time under host
+/// offload, across model sizes.
+pub fn fig3_motivation(cap: u64) {
+    header("F3", "optimizer share of training iteration under host-NVMe offload (A100, batch 8)");
+    let ssd = SsdConfig::base();
+    let gpu = GpuSpec::a100();
+    let mut t = Table::new(&[
+        "model", "fwd+bwd", "opt step (host)", "opt share",
+    ]);
+    for m in zoo::evaluation_models() {
+        let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, m.params(), cap);
+        let compute = gpu.iteration_time(&m, 8);
+        let it = IterationBreakdown::synchronous(compute, host.step_time);
+        t.row(&[
+            m.name.into(),
+            fmt_secs(compute.as_secs_f64()),
+            fmt_secs(host.step_time.as_secs_f64()),
+            format!("{:.1}%", it.optimizer_share() * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+fn three_tiers(ssd: &SsdConfig, params: u64, cap: u64) -> [Measured; 3] {
+    let s1 = *ssd;
+    let s2 = *ssd;
+    let s3 = *ssd;
+    let mut out = crate::runners::run_parallel(vec![
+        Box::new(move || run_host_nvme(&s1, &default_host_cfg(), ADAM, params, cap))
+            as Box<dyn FnOnce() -> Measured + Send>,
+        Box::new(move || run_ndp(&s2, &OptimStoreConfig::channel_ndp(), ADAM, params, cap)),
+        Box::new(move || run_ndp(&s3, &OptimStoreConfig::die_ndp(), ADAM, params, cap)),
+    ])
+    .into_iter();
+    [
+        out.next().unwrap(),
+        out.next().unwrap(),
+        out.next().unwrap(),
+    ]
+}
+
+/// F4 — optimizer-step latency per tier across the model zoo.
+pub fn fig4_step_latency(cap: u64) {
+    header("F4", "optimizer-step latency: host-nvme vs channel-ndp vs die-ndp (base SSD)");
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&[
+        "model", "host-nvme", "channel-ndp", "die-ndp", "audit err (die)",
+        "die bottleneck",
+    ]);
+    for m in zoo::evaluation_models() {
+        let [host, ch, die] = three_tiers(&ssd, m.params(), cap);
+        t.row(&[
+            m.name.into(),
+            fmt_secs(host.step_time.as_secs_f64()),
+            fmt_secs(ch.step_time.as_secs_f64()),
+            fmt_secs(die.step_time.as_secs_f64()),
+            format!("{:.1}%", die.audit_error() * 100.0),
+            format!("{} ({:.0}%)", die.sim_bottleneck.0, die.sim_bottleneck.1 * 100.0),
+        ]);
+    }
+    t.print();
+    // The gpt3-13b row as a bar chart, for the at-a-glance comparison.
+    let [host, ch, die] = three_tiers(&ssd, zoo::gpt3_13b().params(), cap);
+    println!("\ngpt3-13b step time:");
+    print!(
+        "{}",
+        bar_chart(
+            &[
+                ("host-nvme".into(), host.step_time.as_secs_f64()),
+                ("channel-ndp".into(), ch.step_time.as_secs_f64()),
+                ("die-ndp".into(), die.step_time.as_secs_f64()),
+            ],
+            40,
+            "s",
+        )
+    );
+}
+
+/// F5 — speedups over the host baseline (derived from the F4 runs).
+pub fn fig5_speedup(cap: u64) {
+    header("F5", "speedup over host-nvme offload");
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&["model", "channel-ndp", "die-ndp"]);
+    for m in zoo::evaluation_models() {
+        let [host, ch, die] = three_tiers(&ssd, m.params(), cap);
+        t.row(&[
+            m.name.into(),
+            format!(
+                "{:.2}x",
+                host.step_time.as_secs_f64() / ch.step_time.as_secs_f64()
+            ),
+            format!(
+                "{:.2}x",
+                host.step_time.as_secs_f64() / die.step_time.as_secs_f64()
+            ),
+        ]);
+    }
+    t.print();
+}
+
+/// F6 — end-to-end training-iteration speedup (compute + optimizer).
+pub fn fig6_end_to_end(cap: u64) {
+    header("F6", "end-to-end iteration speedup, die-ndp vs host-nvme (A100, batch 8)");
+    let ssd = SsdConfig::base();
+    let gpu = GpuSpec::a100();
+    let mut t = Table::new(&[
+        "model", "iter (host)", "iter (die-ndp)", "speedup",
+    ]);
+    for m in zoo::evaluation_models() {
+        let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, m.params(), cap);
+        let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, m.params(), cap);
+        let compute = gpu.iteration_time(&m, 8);
+        let it_host = IterationBreakdown::synchronous(compute, host.step_time);
+        let it_die = IterationBreakdown::synchronous(compute, die.step_time);
+        t.row(&[
+            m.name.into(),
+            fmt_secs(it_host.total().as_secs_f64()),
+            fmt_secs(it_die.total().as_secs_f64()),
+            format!(
+                "{:.2}x",
+                it_host.total().as_secs_f64() / it_die.total().as_secs_f64()
+            ),
+        ]);
+    }
+    t.print();
+}
+
+/// F7 — sensitivity to internal parallelism (channels × dies/channel),
+/// GPT-3 13B.
+pub fn fig7_parallelism(cap: u64) {
+    header("F7", "die-ndp step time vs internal parallelism (gpt3-13b)");
+    let params = zoo::gpt3_13b().params();
+    let mut t = Table::new(&[
+        "channels", "dies/ch", "total dies", "die-ndp", "host-nvme", "speedup",
+    ]);
+    for channels in [4u32, 8, 16, 32] {
+        for dies in [2u32, 4, 8] {
+            let cfg = SsdConfig {
+                channels,
+                dies_per_channel: dies,
+                ..SsdConfig::base()
+            };
+            // State must fit.
+            let spec = StateLayoutSpec::new(ADAM, GradDtype::F16);
+            if spec.model_footprint(params) > cfg.logical_bytes() {
+                continue;
+            }
+            let die = run_ndp(&cfg, &OptimStoreConfig::die_ndp(), ADAM, params, cap);
+            let host = run_host_nvme(&cfg, &default_host_cfg(), ADAM, params, cap);
+            t.row(&[
+                channels.to_string(),
+                dies.to_string(),
+                (channels * dies).to_string(),
+                fmt_secs(die.step_time.as_secs_f64()),
+                fmt_secs(host.step_time.as_secs_f64()),
+                format!(
+                    "{:.2}x",
+                    host.step_time.as_secs_f64() / die.step_time.as_secs_f64()
+                ),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// F8 — sensitivity to external (PCIe) bandwidth, GPT-3 13B.
+pub fn fig8_pcie(cap: u64) {
+    header("F8", "step time vs PCIe bandwidth (gpt3-13b, base SSD internals)");
+    let params = zoo::gpt3_13b().params();
+    let mut t = Table::new(&[
+        "pcie GB/s", "host-nvme", "die-ndp", "speedup", "host bottleneck",
+    ]);
+    for gbps in [2u64, 4, 8, 16, 32, 64] {
+        let cfg = SsdConfig {
+            pcie: PciGen::Custom(gbps * 1_000_000_000),
+            ..SsdConfig::base()
+        };
+        let host = run_host_nvme(&cfg, &default_host_cfg(), ADAM, params, cap);
+        let die = run_ndp(&cfg, &OptimStoreConfig::die_ndp(), ADAM, params, cap);
+        t.row(&[
+            gbps.to_string(),
+            fmt_secs(host.step_time.as_secs_f64()),
+            fmt_secs(die.step_time.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                host.step_time.as_secs_f64() / die.step_time.as_secs_f64()
+            ),
+            host.audit.bottleneck.into(),
+        ]);
+    }
+    t.print();
+}
+
+/// F9 — energy per optimizer step, broken down by component.
+pub fn fig9_energy(cap: u64) {
+    header("F9", "optimizer-step energy (gpt3-13b), joules by component");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&[
+        "tier", "array", "bus", "pcie", "dram", "host", "compute", "total",
+        "pJ/param",
+    ]);
+    for m in three_tiers(&ssd, params, cap) {
+        let e = m.energy;
+        t.row(&[
+            m.tier.into(),
+            format!("{:.2}", e.array_read + e.array_program + e.erase),
+            format!("{:.2}", e.bus),
+            format!("{:.2}", e.pcie),
+            format!("{:.2}", e.dram),
+            format!("{:.2}", e.host),
+            format!("{:.2}", e.compute),
+            format!("{:.2}", e.total()),
+            format!("{:.1}", e.per_param(params) * 1e12),
+        ]);
+    }
+    t.print();
+}
+
+/// F10 — layout ablation: co-located vs tensor-striped placement.
+pub fn fig10_layout(cap: u64) {
+    header("F10", "layout ablation (gpt3-13b, die-ndp): co-located vs tensor-striped");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let co = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, params, cap);
+    let striped = run_ndp(
+        &ssd,
+        &OptimStoreConfig {
+            layout: LayoutPolicy::TensorStriped,
+            ..OptimStoreConfig::die_ndp()
+        },
+        ADAM,
+        params,
+        cap,
+    );
+    let mut t = Table::new(&["layout", "step time", "bus bytes", "slowdown"]);
+    t.row(&[
+        "co-located".into(),
+        fmt_secs(co.step_time.as_secs_f64()),
+        fmt_bytes(co.traffic.bus),
+        "1.00x".into(),
+    ]);
+    t.row(&[
+        "tensor-striped".into(),
+        fmt_secs(striped.step_time.as_secs_f64()),
+        fmt_bytes(striped.traffic.bus),
+        format!(
+            "{:.2}x",
+            striped.step_time.as_secs_f64() / co.step_time.as_secs_f64()
+        ),
+    ]);
+    t.print();
+}
+
+/// F11 — endurance: erase rate, wear imbalance, projected lifetime.
+///
+/// Runs a *fine-tuning* style workload (a hot fraction of state rewritten
+/// every step) on a small functional-scale device so GC and wear levelling
+/// actually engage, with and without wear levelling.
+pub fn fig11_endurance() {
+    header("F11", "endurance: wear under repeated state rewrites (tiny device, hot/cold split)");
+    let mut t = Table::new(&[
+        "policy", "steps", "erases/step", "WAF", "imbalance",
+        "proj. steps to wear-out",
+    ]);
+    for (name, wl, static_wl) in [
+        ("none", false, None),
+        ("dynamic", true, None),
+        ("dynamic+static", true, Some(3u64)),
+    ] {
+        let mut cfg = SsdConfig::tiny();
+        cfg.gc = GcPolicy {
+            wear_leveling: wl,
+            static_wl_threshold: static_wl,
+            ..GcPolicy::default()
+        };
+        let mut dev = ssdsim::Device::new(cfg);
+        // Hot/cold split: 20% of pages rewritten every "step" (frozen-layer
+        // fine-tune), 80% written once.
+        let pages = dev.logical_pages();
+        let hot = pages / 5;
+        for i in 0..pages {
+            dev.host_write_page(Lpn(i), None, SimTime::ZERO).unwrap();
+        }
+        let steps = 40u64;
+        for _ in 0..steps {
+            for i in 0..hot {
+                dev.host_write_page(Lpn(i), None, SimTime::ZERO).unwrap();
+            }
+        }
+        let rep = EnduranceReport::measure(&dev, steps);
+        t.row(&[
+            name.to_string(),
+            steps.to_string(),
+            format!("{:.1}", rep.erases_per_step),
+            format!("{:.2}", rep.waf),
+            format!("{:.2}", rep.wear_imbalance),
+            format!("{:.2e}", rep.projection.steps_to_exhaustion_imbalanced),
+        ]);
+    }
+    t.print();
+
+    // Full-scale analytic projection for the paper's training scenario.
+    let ssd = SsdConfig::base();
+    let spec = StateLayoutSpec::new(ADAM, GradDtype::F16);
+    let params = zoo::gpt3_13b().params();
+    let per_step = analytic_erases_per_step(params, &spec, &ssd, 1.05);
+    let blocks = ssd.total_dies() as u64 * ssd.nand.geometry.blocks_per_die();
+    let budget = blocks * ssd.nand.cell.rated_pe_cycles();
+    let steps = budget as f64 / per_step;
+    println!(
+        "analytic (gpt3-13b on base SSD, WAF 1.05): {per_step:.0} erases/step, \
+         {steps:.2e} steps to rated wear-out ({:.0} days at 1 step/s)",
+        steps / 86_400.0
+    );
+}
+
+/// F12 — batch-size sensitivity: optimizer share of the iteration.
+pub fn fig12_batch(cap: u64) {
+    header("F12", "optimizer share vs batch size (gpt3-13b, A100)");
+    let m = zoo::gpt3_13b();
+    let ssd = SsdConfig::base();
+    let gpu = GpuSpec::a100();
+    let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, m.params(), cap);
+    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, m.params(), cap);
+    let mut t = Table::new(&[
+        "batch", "fwd+bwd", "share (host)", "share (die-ndp)",
+    ]);
+    for batch in [1u32, 2, 4, 8, 16, 32, 64] {
+        let compute = gpu.iteration_time(&m, batch);
+        let s_host = IterationBreakdown::synchronous(compute, host.step_time);
+        let s_die = IterationBreakdown::synchronous(compute, die.step_time);
+        t.row(&[
+            batch.to_string(),
+            fmt_secs(compute.as_secs_f64()),
+            format!("{:.1}%", s_host.optimizer_share() * 100.0),
+            format!("{:.1}%", s_die.optimizer_share() * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+/// F13 — multi-device scaling (GPT-3 175B sharded ZeRO-style).
+pub fn fig13_scaling(cap: u64) {
+    header("F13", "multi-SSD scaling (gpt3-175b, ZeRO sharding)");
+    let params = zoo::gpt3_175b().params();
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&[
+        "SSDs", "shard params", "die-ndp step", "host step", "speedup",
+    ]);
+    for devices in [1u32, 2, 4, 8] {
+        let part = ZeroPartition::new(params, devices);
+        let shard = part.max_shard();
+        // Die-NDP shards run independently: the fleet step is one shard's
+        // simulated step. The host fleet shares one updater (simulated I/O
+        // per shard, shared-updater bound across shards).
+        let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, shard, cap);
+        let host_time = run_host_fleet(&ssd, &default_host_cfg(), ADAM, params, devices, cap)
+            .as_secs_f64();
+        t.row(&[
+            devices.to_string(),
+            format!("{:.1} B", shard as f64 / 1e9),
+            fmt_secs(die.step_time.as_secs_f64()),
+            fmt_secs(host_time),
+            format!("{:.2}x", host_time / die.step_time.as_secs_f64()),
+        ]);
+    }
+    t.print();
+}
+
+/// T14 — functional correctness: in-storage vs host-reference updates must
+/// be bit-exact.
+pub fn table14_correctness() {
+    header("T14", "functional correctness: in-storage vs reference (max ULP distance)");
+    let mut t = Table::new(&["optimizer", "tier", "params", "steps", "max ULP diff"]);
+    for kind in [OptimizerKind::Adam, OptimizerKind::AdamW, OptimizerKind::SgdMomentum] {
+        for (tier_name, cfg) in [
+            ("die-ndp", OptimStoreConfig::die_ndp()),
+            ("channel-ndp", OptimStoreConfig::channel_ndp()),
+        ] {
+            let params = 20_000usize;
+            let weights = WeightInit::default().generate(params);
+            let gen = GradientGen::new(99);
+            let (optimizer, spec) = optimizer_and_spec(kind);
+            let mut dev = OptimStoreDevice::new_functional(
+                SsdConfig::tiny(),
+                cfg,
+                params as u64,
+                optimizer,
+                spec,
+            )
+            .unwrap();
+            let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+            let (reference_opt, _) = optimizer_and_spec(kind);
+            let mut reference =
+                StateBuffers::init(reference_opt.as_ref(), &weights, GradDtype::F16);
+            let steps = 3u64;
+            for s in 1..=steps {
+                let grads = gen.generate(s, params);
+                let r = dev.run_step(Some(&grads), at).unwrap();
+                at = r.end;
+                let gb = encode_grads(&grads, GradDtype::F16);
+                reference
+                    .step(reference_opt.as_ref(), &gb, GradDtype::F16, s)
+                    .unwrap();
+            }
+            let got = dev.read_master_weights(at).unwrap();
+            let expect = reference.weights_f32();
+            let max_ulp = got
+                .iter()
+                .zip(&expect)
+                .map(|(a, b)| (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs())
+                .max()
+                .unwrap();
+            t.row(&[
+                format!("{kind:?}"),
+                tier_name.into(),
+                params.to_string(),
+                steps.to_string(),
+                max_ulp.to_string(),
+            ]);
+        }
+    }
+    t.print();
+
+    // The host baseline must agree too.
+    let params = 10_000usize;
+    let weights = WeightInit::default().generate(params);
+    let grads = GradientGen::new(7).generate(1, params);
+    let (optimizer, spec) = optimizer_and_spec(ADAM);
+    let mut base = HostNvmeBaseline::new_functional(
+        SsdConfig::tiny(),
+        HostNvmeConfig::default(),
+        params as u64,
+        optimizer,
+        spec,
+    )
+    .unwrap();
+    let t0 = base.load_weights(&weights, SimTime::ZERO).unwrap();
+    let t1 = base.spill_gradients(Some(&grads), t0).unwrap();
+    let r = base.run_step(t1).unwrap();
+    let host_w = base.read_master_weights(r.end).unwrap();
+    let (ro, _) = optimizer_and_spec(ADAM);
+    let mut reference = StateBuffers::init(ro.as_ref(), &weights, GradDtype::F16);
+    reference
+        .step(ro.as_ref(), &encode_grads(&grads, GradDtype::F16), GradDtype::F16, 1)
+        .unwrap();
+    let agree = host_w
+        .iter()
+        .zip(reference.weights_f32())
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    println!("host-nvme baseline bit-exact vs reference: {agree}");
+}
+
+/// F15 — optimizer ablation: state size drives step time.
+pub fn fig15_optimizers(cap: u64) {
+    header("F15", "optimizer ablation (gpt3-13b, die-ndp)");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&[
+        "optimizer", "state B/param", "flash state", "step time", "vs adam",
+    ]);
+    let adam_time = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, params, cap)
+        .step_time
+        .as_secs_f64();
+    for kind in OptimizerKind::all() {
+        let spec = StateLayoutSpec::new(kind, GradDtype::F16);
+        let m = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), kind, params, cap);
+        t.row(&[
+            format!("{kind:?}"),
+            spec.persistent_bytes().to_string(),
+            fmt_bytes(spec.model_footprint(params)),
+            fmt_secs(m.step_time.as_secs_f64()),
+            format!("{:.2}x", m.step_time.as_secs_f64() / adam_time),
+        ]);
+    }
+    t.print();
+}
+
+/// F16 — gradient-staging ablation (stream vs store-to-flash).
+pub fn fig16_grad_staging(cap: u64) {
+    header("F16", "gradient staging ablation (gpt3-13b, die-ndp)");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&["staging", "step time", "array prog bytes", "slowdown"]);
+    let stream = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, params, cap);
+    let store = run_ndp(
+        &ssd,
+        &OptimStoreConfig {
+            grad_staging: GradStaging::StoreToFlash,
+            ..OptimStoreConfig::die_ndp()
+        },
+        ADAM,
+        params,
+        cap,
+    );
+    for (name, m) in [("stream", &stream), ("store-to-flash", &store)] {
+        t.row(&[
+            name.into(),
+            fmt_secs(m.step_time.as_secs_f64()),
+            fmt_bytes(m.traffic.array_program),
+            format!(
+                "{:.2}x",
+                m.step_time.as_secs_f64() / stream.step_time.as_secs_f64()
+            ),
+        ]);
+    }
+    t.print();
+}
+
+
+/// F17 — sparse (lazy) updates: frozen-layer fine-tuning with zero-gradient
+/// skipping.
+pub fn fig17_sparse_updates(cap: u64) {
+    header("F17", "lazy zero-gradient skipping (gpt3-13b, die-ndp, frozen-layer fine-tune)");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&[
+        "hot fraction", "step time", "groups skipped", "array prog", "wear (erases/step)",
+    ]);
+    for hot in [1.0f64, 0.5, 0.25, 0.1] {
+        let cfg = OptimStoreConfig {
+            skip_zero_gradients: true,
+            ..OptimStoreConfig::die_ndp()
+        };
+        let granule = crate::runners::granule(&ssd);
+        let slice = workloads::SlicedRun::plan(params, cap, granule);
+        let (optimizer, spec) = optimizer_and_spec(ADAM);
+        let mut dev = optimstore_core::OptimStoreDevice::new(
+            ssd, cfg, slice.sim_params, optimizer, spec,
+        )
+        .unwrap();
+        dev.set_phantom_hot_fraction(hot);
+        let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+        let r1 = dev.run_step(None, t0).unwrap();
+        let t1 = dev.quiesce_time().max(r1.end);
+        let r2 = dev.run_step(None, t1).unwrap();
+        t.row(&[
+            format!("{:.0}%", hot * 100.0),
+            fmt_secs(slice.scale_duration(r2.duration).as_secs_f64()),
+            format!(
+                "{}/{}",
+                slice.scale_count(r2.groups_skipped),
+                slice.scale_count(r2.groups_total)
+            ),
+            fmt_bytes(slice.scale_count(r2.traffic.array_program)),
+            format!("{:.0}", slice.scale_f64(r2.erases as f64)),
+        ]);
+    }
+    t.print();
+}
+
+/// F18 — device aging: optimizer-step time as the NAND wears out
+/// (read-retries inflate tR).
+pub fn fig18_aging(cap: u64) {
+    header("F18", "step time vs device age (gpt3-13b, die-ndp; read-retries grow with wear)");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let rated = ssd.nand.cell.rated_pe_cycles();
+    let mut t = Table::new(&["age (P/E)", "% of rated", "step time", "vs fresh"]);
+    let mut fresh_time = 0.0f64;
+    for frac in [0.0f64, 0.25, 0.5, 0.75, 1.0] {
+        let pe = (rated as f64 * frac) as u64;
+        let granule = crate::runners::granule(&ssd);
+        let slice = workloads::SlicedRun::plan(params, cap, granule);
+        let (optimizer, spec) = optimizer_and_spec(ADAM);
+        let mut dev = optimstore_core::OptimStoreDevice::new(
+            ssd,
+            OptimStoreConfig::die_ndp(),
+            slice.sim_params,
+            optimizer,
+            spec,
+        )
+        .unwrap();
+        dev.simulate_wear(pe);
+        let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+        let r1 = dev.run_step(None, t0).unwrap();
+        let t1 = dev.quiesce_time().max(r1.end);
+        let r2 = dev.run_step(None, t1).unwrap();
+        let step = slice.scale_duration(r2.duration).as_secs_f64();
+        if frac == 0.0 {
+            fresh_time = step;
+        }
+        t.row(&[
+            pe.to_string(),
+            format!("{:.0}%", frac * 100.0),
+            fmt_secs(step),
+            format!("{:.2}x", step / fresh_time),
+        ]);
+    }
+    t.print();
+}
+
+/// F19 — checkpoint overhead: a checkpoint must cross PCIe regardless of
+/// tier, so how much of the NDP win does periodic checkpointing return?
+pub fn fig19_checkpoint(cap: u64) {
+    header("F19", "checkpoint overhead (gpt3-13b): state readout vs checkpoint interval");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let granule = crate::runners::granule(&ssd);
+    let slice = workloads::SlicedRun::plan(params, cap, granule);
+    let (optimizer, spec) = optimizer_and_spec(ADAM);
+    let mut dev = optimstore_core::OptimStoreDevice::new(
+        ssd,
+        OptimStoreConfig::die_ndp(),
+        slice.sim_params,
+        optimizer,
+        spec,
+    )
+    .unwrap();
+    let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+    let r1 = dev.run_step(None, t0).unwrap();
+    let t1 = dev.quiesce_time().max(r1.end);
+    let (ck_end, ck_bytes) = dev.checkpoint(t1).unwrap();
+    let ck_time = slice.scale_duration(ck_end - t1).as_secs_f64();
+    let step_time = slice.scale_duration(r1.duration).as_secs_f64();
+    println!(
+        "one checkpoint reads {} in {} ({:.1}x one optimizer step)",
+        fmt_bytes(slice.scale_count(ck_bytes)),
+        fmt_secs(ck_time),
+        ck_time / step_time
+    );
+    let mut t = Table::new(&["ckpt every N steps", "overhead on die-ndp", "overhead on host-nvme"]);
+    let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, params, cap);
+    let host_step = host.step_time.as_secs_f64();
+    for interval in [100u32, 500, 1000, 5000] {
+        let die_oh = ck_time / (step_time * interval as f64);
+        let host_oh = ck_time / (host_step * interval as f64);
+        t.row(&[
+            interval.to_string(),
+            format!("{:.2}%", die_oh * 100.0),
+            format!("{:.2}%", host_oh * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+
+/// F20 — gradient compression: top-k delivery breaks the PCIe floor of the
+/// sparse fine-tune case.
+pub fn fig20_compression(cap: u64) {
+    header("F20", "top-k gradient compression (gpt3-13b, die-ndp, 25% hot fine-tune + lazy skip)");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let mut t = Table::new(&["gradient stream", "step time", "pcie-in bytes"]);
+    for (name, topk) in [
+        ("dense (2 B/param)", None),
+        ("top-10% (6 B/entry)", Some(100u16)),
+        ("top-1%  (6 B/entry)", Some(10u16)),
+    ] {
+        let cfg = OptimStoreConfig {
+            skip_zero_gradients: true,
+            grad_topk_permille: topk,
+            ..OptimStoreConfig::die_ndp()
+        };
+        let granule = crate::runners::granule(&ssd);
+        let slice = workloads::SlicedRun::plan(params, cap, granule);
+        let (optimizer, spec) = optimizer_and_spec(ADAM);
+        let mut dev = optimstore_core::OptimStoreDevice::new(
+            ssd, cfg, slice.sim_params, optimizer, spec,
+        )
+        .unwrap();
+        dev.set_phantom_hot_fraction(0.25);
+        let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+        let r1 = dev.run_step(None, t0).unwrap();
+        let t1 = dev.quiesce_time().max(r1.end);
+        let r2 = dev.run_step(None, t1).unwrap();
+        t.row(&[
+            name.to_string(),
+            fmt_secs(slice.scale_duration(r2.duration).as_secs_f64()),
+            fmt_bytes(slice.scale_count(r2.traffic.pcie_in)),
+        ]);
+    }
+    t.print();
+}
+
+
+/// T21 — headline planning table: wall-clock time to train each model for
+/// 100 k steps, host offload vs OptimStore, including the fleet each needs
+/// for capacity + endurance.
+pub fn table21_time_to_train(cap: u64) {
+    header("T21", "time to train 100k steps (A100 batch 8, fleet sized for capacity+endurance)");
+    const STEPS: f64 = 100_000.0;
+    const WAF: f64 = 1.05;
+    let ssd = SsdConfig::base();
+    let gpu = GpuSpec::a100();
+    let spec = StateLayoutSpec::new(ADAM, GradDtype::F16);
+    let mut t = Table::new(&[
+        "model", "SSDs", "iter (host)", "iter (die-ndp)", "days (host)",
+        "days (die-ndp)", "saved",
+    ]);
+    for m in zoo::evaluation_models() {
+        // Fleet size: capacity plus the endurance budget for the run.
+        let state = spec.model_footprint(m.params());
+        let for_capacity = state.div_ceil(ssd.logical_bytes()).max(1) as u32;
+        let blocks = ssd.total_dies() as u64 * ssd.nand.geometry.blocks_per_die();
+        let budget = (blocks * ssd.nand.cell.rated_pe_cycles()) as f64;
+        let erases = analytic_erases_per_step(m.params(), &spec, &ssd, WAF) * STEPS;
+        let for_endurance = (erases / budget).ceil().max(1.0) as u32;
+        let devices = for_capacity.max(for_endurance);
+
+        let shard = ZeroPartition::new(m.params(), devices).max_shard();
+        let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, shard, cap);
+        let host_step = run_host_fleet(&ssd, &default_host_cfg(), ADAM, m.params(), devices, cap);
+        let compute = gpu.iteration_time(&m, 8);
+        let it_host = IterationBreakdown::synchronous(compute, host_step).total().as_secs_f64();
+        let it_die =
+            IterationBreakdown::synchronous(compute, die.step_time).total().as_secs_f64();
+        let days = |iter: f64| iter * STEPS / 86_400.0;
+        t.row(&[
+            m.name.into(),
+            devices.to_string(),
+            fmt_secs(it_host),
+            fmt_secs(it_die),
+            format!("{:.1}", days(it_host)),
+            format!("{:.1}", days(it_die)),
+            format!("{:.1} days", days(it_host) - days(it_die)),
+        ]);
+    }
+    t.print();
+}
+
+
+/// F22 — 8-bit optimizer state: blockwise-quantized moments shrink flash
+/// footprint, array traffic and wear (analytic, audit-based; the
+/// quantization kernels and their convergence are unit-tested in
+/// `optim-math::quant`).
+pub fn fig22_quantized_state() {
+    use optimstore_core::audit::audit_ndp;
+    header("F22", "8-bit optimizer state (gpt3-13b, die-ndp; audit-based)");
+    let params = zoo::gpt3_13b().params();
+    let ssd = SsdConfig::base();
+    let cfg = OptimStoreConfig::die_ndp();
+    let mut t = Table::new(&[
+        "state encoding", "B/param", "flash state", "step time", "erases/step",
+    ]);
+    for (name, spec) in [
+        ("fp32 moments", StateLayoutSpec::new(ADAM, GradDtype::F16)),
+        (
+            "8-bit moments (+scales)",
+            StateLayoutSpec::with_quantized_slots(ADAM, GradDtype::F16, 2),
+        ),
+    ] {
+        let a = audit_ndp(&ssd, &cfg, &spec);
+        let erases = analytic_erases_per_step(params, &spec, &ssd, 1.05);
+        t.row(&[
+            name.into(),
+            spec.persistent_bytes().to_string(),
+            fmt_bytes(spec.model_footprint(params)),
+            fmt_secs(a.step_time(params).as_secs_f64()),
+            format!("{erases:.0}"),
+        ]);
+    }
+    t.print();
+    println!(
+        "(8-bit moments keep Adam convergent — see optim-math::quant tests — \
+         while cutting write traffic and wear by ~30%)"
+    );
+}
+
+
+/// F23 — scheduler-granularity ablation: group-granular vs sub-group
+/// pipelined engines.
+pub fn fig23_scheduler_granularity(cap: u64) {
+    header("F23", "engine scheduling granularity (die-ndp): group vs sub-group pipelining");
+    let ssd = SsdConfig::base();
+    let params = zoo::gpt3_13b().params();
+    let mut t = Table::new(&["optimizer", "scheduling", "step time", "speedup"]);
+    for kind in [ADAM, OptimizerKind::SgdMomentum] {
+        let mut base_time = 0.0f64;
+        for (name, subgroup) in [("group", false), ("sub-group", true)] {
+            let mut cfg = OptimStoreConfig::die_ndp();
+            cfg.engine.subgroup_pipelining = subgroup;
+            let m = run_ndp(&ssd, &cfg, kind, params, cap);
+            let secs = m.step_time.as_secs_f64();
+            if !subgroup {
+                base_time = secs;
+            }
+            t.row(&[
+                format!("{kind:?}"),
+                name.into(),
+                fmt_secs(secs),
+                format!("{:.2}x", base_time / secs),
+            ]);
+        }
+    }
+    t.print();
+}
+
+/// Runs every experiment (the `figures` bench target and the full harness
+/// binary both call this).
+pub fn run_all(cap: u64) {
+    table1_models();
+    table2_ssd_config();
+    fig3_motivation(cap);
+    fig4_step_latency(cap);
+    fig5_speedup(cap);
+    fig6_end_to_end(cap);
+    fig7_parallelism(cap);
+    fig8_pcie(cap);
+    fig9_energy(cap);
+    fig10_layout(cap);
+    fig11_endurance();
+    fig12_batch(cap);
+    fig13_scaling(cap);
+    table14_correctness();
+    fig15_optimizers(cap);
+    fig16_grad_staging(cap);
+    fig17_sparse_updates(cap);
+    fig18_aging(cap);
+    fig19_checkpoint(cap);
+    fig20_compression(cap);
+    table21_time_to_train(cap);
+    fig22_quantized_state();
+    fig23_scheduler_granularity(cap);
+}

@@ -1,0 +1,20 @@
+//! # optimstore-bench — the experiment harness
+//!
+//! One binary per reconstructed table/figure (see DESIGN.md §4), all built
+//! from the shared machinery here:
+//!
+//! * [`runners`] — builds a device for a tier, runs a warm-up step and a
+//!   measured step over a [`workloads::SlicedRun`] slice, and returns
+//!   full-model-scaled results cross-checked against the analytic audit.
+//! * [`table`] — fixed-width table printing so every experiment's output
+//!   is grep-able and diff-able (EXPERIMENTS.md records these verbatim).
+//! * [`experiments`] — the experiment implementations; each `fig*`/`table*`
+//!   binary is a two-liner calling one of them, and the `figures` bench
+//!   target runs them all under `cargo bench`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runners;
+pub mod table;

@@ -1,0 +1,232 @@
+//! The in-storage update command protocol.
+//!
+//! OptimStore extends the NVMe command set with a vendor-specific
+//! **IST-UPDATE** command: the host names a range of update groups, the
+//! optimizer rule and its hyperparameters, and the device performs the
+//! whole element-wise pass internally. This module defines the wire format
+//! (fixed-size little-endian, 64 bytes) and its codec; the executor
+//! round-trips every step through it so the protocol is exercised, not
+//! decorative.
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic  "ISTU"
+//!      4     2  version (1)
+//!      6     1  optimizer wire id
+//!      7     1  grad dtype (0 = f16, 1 = bf16)
+//!      8     8  step number (1-based)
+//!     16     8  first update group
+//!     24     8  group count
+//!     32     4  lr        (f32 bits)
+//!     36     4  beta1/momentum
+//!     40     4  beta2
+//!     44     4  eps
+//!     48     4  weight decay
+//!     52    12  reserved (zero)
+//! ```
+
+use optim_math::state::GradDtype;
+use optim_math::OptimizerKind;
+use std::error::Error;
+use std::fmt;
+
+/// Wire size of an encoded command.
+pub const COMMAND_LEN: usize = 64;
+
+const MAGIC: &[u8; 4] = b"ISTU";
+const VERSION: u16 = 1;
+
+/// A decoded IST-UPDATE command.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateCommand {
+    /// Optimizer family to apply.
+    pub optimizer: OptimizerKind,
+    /// Gradient element type.
+    pub grad_dtype: GradDtype,
+    /// 1-based global step (bias correction).
+    pub step: u64,
+    /// First update group to process.
+    pub group_start: u64,
+    /// Number of groups to process.
+    pub group_count: u64,
+    /// Hyperparameters, in the order `[lr, beta1|momentum, beta2, eps,
+    /// weight_decay]`; unused trailing values are zero.
+    pub hyper: [f32; 5],
+}
+
+/// A malformed command buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Buffer is not exactly [`COMMAND_LEN`] bytes.
+    BadLength(usize),
+    /// Magic bytes do not match.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u16),
+    /// Unknown optimizer wire id.
+    BadOptimizer(u8),
+    /// Unknown gradient dtype code.
+    BadDtype(u8),
+    /// Reserved bytes were not zero.
+    DirtyReserved,
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadLength(n) => {
+                write!(f, "command is {n} bytes, expected {COMMAND_LEN}")
+            }
+            ProtocolError::BadMagic => write!(f, "bad magic"),
+            ProtocolError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            ProtocolError::BadOptimizer(id) => write!(f, "unknown optimizer id {id}"),
+            ProtocolError::BadDtype(id) => write!(f, "unknown grad dtype {id}"),
+            ProtocolError::DirtyReserved => write!(f, "reserved bytes must be zero"),
+        }
+    }
+}
+
+impl Error for ProtocolError {}
+
+impl UpdateCommand {
+    /// Encodes to the 64-byte wire format.
+    pub fn encode(&self) -> [u8; COMMAND_LEN] {
+        let mut b = [0u8; COMMAND_LEN];
+        b[0..4].copy_from_slice(MAGIC);
+        b[4..6].copy_from_slice(&VERSION.to_le_bytes());
+        b[6] = self.optimizer.wire_id();
+        b[7] = match self.grad_dtype {
+            GradDtype::F16 => 0,
+            GradDtype::Bf16 => 1,
+        };
+        b[8..16].copy_from_slice(&self.step.to_le_bytes());
+        b[16..24].copy_from_slice(&self.group_start.to_le_bytes());
+        b[24..32].copy_from_slice(&self.group_count.to_le_bytes());
+        for (i, h) in self.hyper.iter().enumerate() {
+            b[32 + 4 * i..36 + 4 * i].copy_from_slice(&h.to_le_bytes());
+        }
+        b
+    }
+
+    /// Decodes from the wire format.
+    pub fn decode(buf: &[u8]) -> Result<UpdateCommand, ProtocolError> {
+        if buf.len() != COMMAND_LEN {
+            return Err(ProtocolError::BadLength(buf.len()));
+        }
+        if &buf[0..4] != MAGIC {
+            return Err(ProtocolError::BadMagic);
+        }
+        let version = u16::from_le_bytes(buf[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(ProtocolError::BadVersion(version));
+        }
+        let optimizer =
+            OptimizerKind::from_wire_id(buf[6]).ok_or(ProtocolError::BadOptimizer(buf[6]))?;
+        let grad_dtype = match buf[7] {
+            0 => GradDtype::F16,
+            1 => GradDtype::Bf16,
+            other => return Err(ProtocolError::BadDtype(other)),
+        };
+        if buf[52..64].iter().any(|&x| x != 0) {
+            return Err(ProtocolError::DirtyReserved);
+        }
+        let mut hyper = [0f32; 5];
+        for (i, h) in hyper.iter_mut().enumerate() {
+            *h = f32::from_le_bytes(buf[32 + 4 * i..36 + 4 * i].try_into().unwrap());
+        }
+        Ok(UpdateCommand {
+            optimizer,
+            grad_dtype,
+            step: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+            group_start: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            group_count: u64::from_le_bytes(buf[24..32].try_into().unwrap()),
+            hyper,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmd() -> UpdateCommand {
+        UpdateCommand {
+            optimizer: OptimizerKind::AdamW,
+            grad_dtype: GradDtype::F16,
+            step: 42,
+            group_start: 7,
+            group_count: 1000,
+            hyper: [1e-4, 0.9, 0.999, 1e-8, 0.01],
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let c = cmd();
+        let wire = c.encode();
+        assert_eq!(wire.len(), COMMAND_LEN);
+        assert_eq!(UpdateCommand::decode(&wire).unwrap(), c);
+    }
+
+    #[test]
+    fn round_trips_every_optimizer_and_dtype() {
+        for opt in OptimizerKind::all() {
+            for dt in [GradDtype::F16, GradDtype::Bf16] {
+                let c = UpdateCommand {
+                    optimizer: opt,
+                    grad_dtype: dt,
+                    ..cmd()
+                };
+                assert_eq!(UpdateCommand::decode(&c.encode()).unwrap(), c);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_length() {
+        assert_eq!(
+            UpdateCommand::decode(&[0u8; 10]),
+            Err(ProtocolError::BadLength(10))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut wire = cmd().encode();
+        wire[0] = b'X';
+        assert_eq!(UpdateCommand::decode(&wire), Err(ProtocolError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut wire = cmd().encode();
+        wire[4] = 9;
+        assert_eq!(
+            UpdateCommand::decode(&wire),
+            Err(ProtocolError::BadVersion(9))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_optimizer_and_dtype() {
+        let mut wire = cmd().encode();
+        wire[6] = 200;
+        assert_eq!(
+            UpdateCommand::decode(&wire),
+            Err(ProtocolError::BadOptimizer(200))
+        );
+        let mut wire = cmd().encode();
+        wire[7] = 9;
+        assert_eq!(UpdateCommand::decode(&wire), Err(ProtocolError::BadDtype(9)));
+    }
+
+    #[test]
+    fn rejects_dirty_reserved() {
+        let mut wire = cmd().encode();
+        wire[60] = 1;
+        assert_eq!(
+            UpdateCommand::decode(&wire),
+            Err(ProtocolError::DirtyReserved)
+        );
+    }
+}

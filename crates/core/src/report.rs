@@ -1,0 +1,137 @@
+//! Per-step measurement report.
+
+use crate::energy::EnergyBreakdown;
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+
+/// Bytes moved per resource during one optimizer step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficBytes {
+    /// Host→device PCIe bytes.
+    pub pcie_in: u64,
+    /// Device→host PCIe bytes.
+    pub pcie_out: u64,
+    /// ONFI channel-bus bytes (all channels summed).
+    pub bus: u64,
+    /// Bytes sensed from NAND arrays.
+    pub array_read: u64,
+    /// Bytes programmed into NAND arrays.
+    pub array_program: u64,
+    /// Controller-DRAM bytes.
+    pub dram: u64,
+}
+
+impl TrafficBytes {
+    /// Total external (PCIe) bytes.
+    pub fn pcie_total(&self) -> u64 {
+        self.pcie_in + self.pcie_out
+    }
+}
+
+/// The outcome of one optimizer step (or one baseline step).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Tier label (`"die-ndp"`, `"channel-ndp"`, `"host-nvme"`, …).
+    pub tier: &'static str,
+    /// Parameters updated.
+    pub params: u64,
+    /// When the step was issued.
+    pub start: SimTime,
+    /// When the last write persisted.
+    pub end: SimTime,
+    /// `end − start`.
+    pub duration: SimDuration,
+    /// Per-resource traffic.
+    pub traffic: TrafficBytes,
+    /// Energy by component.
+    pub energy: EnergyBreakdown,
+    /// Blocks erased during the step (GC + reclamation).
+    pub erases: u64,
+    /// GC page copies during the step.
+    pub gc_copies: u64,
+    /// Update groups in the step.
+    pub groups_total: u64,
+    /// Groups skipped by the zero-gradient (lazy) path.
+    pub groups_skipped: u64,
+}
+
+impl StepReport {
+    /// Parameters updated per second of simulated time.
+    pub fn params_per_sec(&self) -> f64 {
+        let s = self.duration.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        self.params as f64 / s
+    }
+
+    /// Effective update bandwidth: state bytes (read+written) per second.
+    pub fn state_bytes_per_sec(&self) -> f64 {
+        let s = self.duration.as_secs_f64();
+        if s == 0.0 {
+            return 0.0;
+        }
+        (self.traffic.array_read + self.traffic.array_program) as f64 / s
+    }
+
+    /// Speedup of this step relative to `baseline`.
+    pub fn speedup_over(&self, baseline: &StepReport) -> f64 {
+        let mine = self.duration.as_secs_f64();
+        if mine == 0.0 {
+            return f64::INFINITY;
+        }
+        baseline.duration.as_secs_f64() / mine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(ms: u64) -> StepReport {
+        StepReport {
+            tier: "die-ndp",
+            params: 1_000_000,
+            start: SimTime::ZERO,
+            end: SimTime::from_ms(ms),
+            duration: SimDuration::from_ms(ms),
+            traffic: TrafficBytes {
+                pcie_in: 10,
+                pcie_out: 20,
+                bus: 0,
+                array_read: 1000,
+                array_program: 1000,
+                dram: 0,
+            },
+            energy: EnergyBreakdown::default(),
+            erases: 0,
+            gc_copies: 0,
+            groups_total: 10,
+            groups_skipped: 0,
+        }
+    }
+
+    #[test]
+    fn rates() {
+        let r = report(100);
+        assert!((r.params_per_sec() - 1e7).abs() < 1.0);
+        assert!((r.state_bytes_per_sec() - 20_000.0).abs() < 1.0);
+        assert_eq!(r.traffic.pcie_total(), 30);
+    }
+
+    #[test]
+    fn speedup() {
+        let fast = report(100);
+        let slow = report(400);
+        assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
+        assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_guarded() {
+        let mut r = report(0);
+        r.duration = SimDuration::ZERO;
+        assert_eq!(r.params_per_sec(), 0.0);
+        assert_eq!(r.state_bytes_per_sec(), 0.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Learning-rate schedules.
+//!
+//! Large-model recipes never run a constant learning rate: they warm up
+//! linearly and decay (cosine or linear) to a floor. The schedule matters
+//! to this repository because the in-storage command protocol carries the
+//! step's hyperparameters — the host re-issues `lr` every IST-UPDATE — so
+//! the schedule is part of the host-side training driver.
+
+use serde::{Deserialize, Serialize};
+
+/// Decay curve applied after warmup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Decay {
+    /// No decay: hold the peak.
+    Constant,
+    /// Linear from peak to the floor.
+    Linear,
+    /// Half-cosine from peak to the floor (the GPT-3 recipe).
+    Cosine,
+}
+
+/// A warmup-then-decay learning-rate schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LrSchedule {
+    /// Peak learning rate, reached at the end of warmup.
+    pub peak: f32,
+    /// Final learning rate (decay floor).
+    pub floor: f32,
+    /// Linear warmup steps (0 ⇒ start at peak).
+    pub warmup_steps: u64,
+    /// Total training steps (decay completes here).
+    pub total_steps: u64,
+    /// Decay curve.
+    pub decay: Decay,
+}
+
+impl LrSchedule {
+    /// The GPT-3-style recipe: linear warmup then cosine decay to 10 % of
+    /// peak.
+    pub fn gpt3(peak: f32, total_steps: u64) -> Self {
+        LrSchedule {
+            peak,
+            floor: peak * 0.1,
+            warmup_steps: (total_steps / 100).max(1),
+            total_steps,
+            decay: Decay::Cosine,
+        }
+    }
+
+    /// Learning rate at 1-based `step`.
+    ///
+    /// Steps past `total_steps` hold the floor.
+    pub fn lr_at(&self, step: u64) -> f32 {
+        debug_assert!(step >= 1, "steps are 1-based");
+        if self.warmup_steps > 0 && step <= self.warmup_steps {
+            return self.peak * step as f32 / self.warmup_steps as f32;
+        }
+        if step >= self.total_steps {
+            return match self.decay {
+                Decay::Constant => self.peak,
+                _ => self.floor,
+            };
+        }
+        let progress = (step - self.warmup_steps) as f64
+            / (self.total_steps - self.warmup_steps).max(1) as f64;
+        match self.decay {
+            Decay::Constant => self.peak,
+            Decay::Linear => {
+                (self.peak as f64 + (self.floor as f64 - self.peak as f64) * progress) as f32
+            }
+            Decay::Cosine => {
+                let cos = 0.5 * (1.0 + (std::f64::consts::PI * progress).cos());
+                (self.floor as f64 + (self.peak as f64 - self.floor as f64) * cos) as f32
+            }
+        }
+    }
+
+    /// Validates the schedule.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.peak.is_finite() && self.peak > 0.0) {
+            return Err(format!("peak must be positive, got {}", self.peak));
+        }
+        if !(self.floor.is_finite() && self.floor >= 0.0 && self.floor <= self.peak) {
+            return Err(format!("floor must be in [0, peak], got {}", self.floor));
+        }
+        if self.total_steps == 0 || self.warmup_steps >= self.total_steps {
+            return Err("warmup must end before total_steps".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(decay: Decay) -> LrSchedule {
+        LrSchedule {
+            peak: 1e-4,
+            floor: 1e-5,
+            warmup_steps: 100,
+            total_steps: 1000,
+            decay,
+        }
+    }
+
+    #[test]
+    fn warmup_is_linear() {
+        let s = sched(Decay::Cosine);
+        assert!((s.lr_at(1) - 1e-6).abs() < 1e-12);
+        assert!((s.lr_at(50) - 5e-5).abs() < 1e-10);
+        assert!((s.lr_at(100) - 1e-4).abs() < 1e-10);
+    }
+
+    #[test]
+    fn cosine_decays_through_midpoint_to_floor() {
+        let s = sched(Decay::Cosine);
+        let mid = s.lr_at(550); // halfway through decay
+        let expect = (1e-5 + 1e-4) as f32 / 2.0;
+        assert!((mid - expect).abs() < 1e-9, "mid {mid}");
+        assert!((s.lr_at(1000) - 1e-5).abs() < 1e-9);
+        assert!((s.lr_at(99_999) - 1e-5).abs() < 1e-9, "holds the floor");
+    }
+
+    #[test]
+    fn linear_decay_is_linear() {
+        let s = sched(Decay::Linear);
+        let quarter = s.lr_at(100 + 225);
+        let expect = 1e-4 - 0.25 * (1e-4 - 1e-5);
+        assert!((quarter - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_holds_peak() {
+        let s = sched(Decay::Constant);
+        assert_eq!(s.lr_at(500), 1e-4);
+        assert_eq!(s.lr_at(10_000), 1e-4);
+    }
+
+    #[test]
+    fn lr_is_monotone_after_warmup() {
+        let s = sched(Decay::Cosine);
+        let mut prev = f32::INFINITY;
+        for step in 100..=1000 {
+            let lr = s.lr_at(step);
+            assert!(lr <= prev + 1e-12, "lr must not increase after warmup");
+            prev = lr;
+        }
+    }
+
+    #[test]
+    fn gpt3_recipe_shape() {
+        let s = LrSchedule::gpt3(6e-5, 100_000);
+        s.validate().unwrap();
+        assert_eq!(s.warmup_steps, 1000);
+        assert!((s.lr_at(100_000) - 6e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validation_catches_bad_schedules() {
+        let mut s = sched(Decay::Cosine);
+        s.peak = -1.0;
+        assert!(s.validate().is_err());
+        let mut s = sched(Decay::Cosine);
+        s.floor = 1.0;
+        assert!(s.validate().is_err());
+        let mut s = sched(Decay::Cosine);
+        s.warmup_steps = 1000;
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! The ONFI channel bus shared by all dies on a channel.
+//!
+//! Data moves between the controller and a die's page register over this
+//! bus; array operations themselves do not occupy it. This split is the
+//! physical fact OptimStore exploits: a die-level processing engine consumes
+//! page-register contents *without* a bus transfer, so its operand bandwidth
+//! is the array's, not the bus's.
+
+use crate::timing::NandTiming;
+use simkit::{BandwidthLink, SimDuration, SimTime, Window};
+
+/// An ONFI bus: a [`BandwidthLink`] at the configured transfer rate plus a
+/// fixed command/address overhead per operation.
+#[derive(Debug, Clone)]
+pub struct OnfiBus {
+    link: BandwidthLink,
+    cmd_overhead: SimDuration,
+}
+
+impl OnfiBus {
+    /// Creates a bus from channel `timing` (rate = `io_mts` MT/s).
+    pub fn new(name: impl Into<String>, timing: &NandTiming) -> Self {
+        OnfiBus {
+            link: BandwidthLink::new(name, timing.bus_bytes_per_sec()),
+            cmd_overhead: timing.t_cmd_overhead,
+        }
+    }
+
+    /// Schedules a data transfer of `bytes` (either direction) arriving at
+    /// `earliest`; the window includes the command/address overhead.
+    pub fn transfer(&mut self, earliest: SimTime, bytes: u64) -> Window {
+        // Model the command cycles as part of the bus occupancy: a transfer
+        // of B bytes holds the bus for overhead + B/rate.
+        let w = self.link.transfer(earliest, bytes);
+        // Extend occupancy by issuing a zero-byte "transfer" is not possible
+        // through the link; instead account the overhead by a second
+        // acquisition immediately after. Simpler: fold overhead into the
+        // returned window and the link's busy-until via an overhead-sized
+        // dummy transfer.
+        let overhead_bytes = self.overhead_bytes();
+        if overhead_bytes > 0 {
+            let w2 = self.link.transfer(w.end, overhead_bytes);
+            Window { start: w.start, end: w2.end }
+        } else {
+            w
+        }
+    }
+
+    /// Schedules a pure command (no data payload), e.g. an erase issue.
+    pub fn command(&mut self, earliest: SimTime) -> Window {
+        let overhead_bytes = self.overhead_bytes().max(1);
+        self.link.transfer(earliest, overhead_bytes)
+    }
+
+    /// The instant at which the bus next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.link.free_at()
+    }
+
+    /// Total bytes moved (including command-overhead equivalents).
+    pub fn bytes_moved(&self) -> u64 {
+        self.link.bytes_moved()
+    }
+
+    /// Total busy time.
+    pub fn busy_total(&self) -> SimDuration {
+        self.link.busy_total()
+    }
+
+    /// Utilization over `[0, horizon)`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.link.utilization(horizon)
+    }
+
+    /// Bus bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.link.bytes_per_sec()
+    }
+
+    /// Resets occupancy and statistics.
+    pub fn reset(&mut self) {
+        self.link.reset();
+    }
+
+    /// Command/address overhead expressed in equivalent bus bytes.
+    fn overhead_bytes(&self) -> u64 {
+        // bytes = overhead_seconds * rate, rounded up.
+        let secs = self.cmd_overhead.as_secs_f64();
+        (secs * self.link.bytes_per_sec() as f64).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::NandTiming;
+
+    #[test]
+    fn transfer_includes_overhead() {
+        let t = NandTiming::tlc();
+        let mut bus = OnfiBus::new("ch0", &t);
+        let w = bus.transfer(SimTime::ZERO, 16 * 1024);
+        // 16 KiB at 1.2 GB/s ≈ 13.65 µs plus 400 ns overhead.
+        let pure = SimDuration::for_transfer(16 * 1024, t.bus_bytes_per_sec());
+        assert!(w.duration() >= pure + SimDuration::from_ns(399));
+        assert!(w.duration() < pure + SimDuration::from_ns(800));
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let t = NandTiming::tlc();
+        let mut bus = OnfiBus::new("ch0", &t);
+        let a = bus.transfer(SimTime::ZERO, 4096);
+        let b = bus.transfer(SimTime::ZERO, 4096);
+        assert!(b.start >= a.end);
+    }
+
+    #[test]
+    fn command_occupies_briefly() {
+        let t = NandTiming::tlc();
+        let mut bus = OnfiBus::new("ch0", &t);
+        let w = bus.command(SimTime::ZERO);
+        assert!(w.duration() >= SimDuration::from_ns(300));
+        assert!(w.duration() <= SimDuration::from_us(1));
+    }
+
+    #[test]
+    fn reset_clears() {
+        let t = NandTiming::tlc();
+        let mut bus = OnfiBus::new("ch0", &t);
+        bus.transfer(SimTime::ZERO, 4096);
+        bus.reset();
+        assert_eq!(bus.bytes_moved(), 0);
+        assert_eq!(bus.free_at(), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,60 @@
+//! # nandsim — NAND flash die model
+//!
+//! A functional **and** timing-accurate model of a single NAND flash die,
+//! the unit of storage (and, in OptimStore, of compute placement) inside an
+//! SSD. The `ssdsim` crate composes many dies into channels and a device;
+//! the OptimStore core places per-die processing engines next to them.
+//!
+//! What is modelled, and why it matters for the paper's argument:
+//!
+//! * **Geometry** ([`NandGeometry`]): planes → blocks → pages. Plane count
+//!   bounds intra-die parallelism; page size sets the granularity of every
+//!   transfer the optimizer update performs.
+//! * **Timing** ([`NandTiming`]): array read (`tR`), program (`tPROG`) and
+//!   erase (`tBERS`) latencies, including per-page-type read latencies for
+//!   MLC/TLC (lower pages read faster than upper pages). These latencies are
+//!   what internal bandwidth — the quantity OptimStore exploits — is made of.
+//! * **Program/erase discipline** ([`Die`]): pages within a block must be
+//!   programmed sequentially and only after an erase; violating clients get
+//!   a [`NandError`], which is how the FTL tests prove the mapping layer is
+//!   honest.
+//! * **Data** ([`store::Backing`]): pages can carry real bytes (functional
+//!   mode, verified bit-exactly by the integration tests) or be *phantom*
+//!   (timing/accounting only) so 175-billion-parameter experiments fit in
+//!   host memory.
+//! * **Wear** ([`wear`]): per-block P/E counts and an analytic raw-bit-error
+//!   model, feeding the endurance experiment (reconstructed Figure 11).
+//!
+//! ## Example
+//!
+//! ```
+//! use nandsim::{Die, NandConfig, PhysPage};
+//! use simkit::SimTime;
+//!
+//! let mut die = Die::new_functional(0, NandConfig::tlc_1tb_die());
+//! let page = PhysPage { plane: 0, block: 0, page: 0 };
+//! // Program then read one page, functionally.
+//! let data = vec![0xAB; die.config().geometry.page_bytes as usize];
+//! let w = die.program_page(page, SimTime::ZERO, Some(&data)).unwrap();
+//! let (r, out) = die.read_page(page, w.end).unwrap();
+//! assert!(r.end > w.end);
+//! assert_eq!(out.unwrap()[0], 0xAB);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod bus;
+mod die;
+mod error;
+mod geometry;
+mod timing;
+
+pub mod store;
+pub mod wear;
+
+pub use bus::OnfiBus;
+pub use die::{Die, DieStats};
+pub use error::NandError;
+pub use geometry::{BlockAddr, NandGeometry, PhysPage};
+pub use timing::{NandConfig, NandTiming, PageType};

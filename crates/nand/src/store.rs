@@ -1,0 +1,253 @@
+//! Page lifecycle state and (optional) functional data storage.
+//!
+//! Every page is always tracked through the `Free → Valid → Invalid → Free`
+//! lifecycle (the FTL depends on it), but the *contents* of pages are
+//! optional: [`Backing::Data`] keeps real bytes for functional verification,
+//! [`Backing::Phantom`] keeps none so that terabyte-scale timing experiments
+//! fit in host memory.
+
+use crate::geometry::NandGeometry;
+use bytes::Bytes;
+use std::collections::HashMap;
+
+/// Lifecycle state of one physical page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PageState {
+    /// Erased and programmable.
+    Free,
+    /// Programmed and holding live data.
+    Valid,
+    /// Programmed but superseded (awaiting garbage collection).
+    Invalid,
+}
+
+/// Per-block bookkeeping: page states, sequential-program cursor, wear.
+#[derive(Debug, Clone)]
+pub struct BlockState {
+    states: Vec<PageState>,
+    /// Index of the next page that may legally be programmed.
+    write_cursor: u32,
+    /// Number of pages currently `Valid`.
+    valid_pages: u32,
+    /// Completed program/erase cycles.
+    erase_count: u64,
+    /// True once the block exceeded its rated endurance and was retired.
+    retired: bool,
+}
+
+impl BlockState {
+    /// A freshly erased block with zero wear.
+    pub fn new(pages_per_block: u32) -> Self {
+        BlockState {
+            states: vec![PageState::Free; pages_per_block as usize],
+            write_cursor: 0,
+            valid_pages: 0,
+            erase_count: 0,
+            retired: false,
+        }
+    }
+
+    /// State of page `page`.
+    pub fn page_state(&self, page: u32) -> PageState {
+        self.states[page as usize]
+    }
+
+    /// The next page index that may legally be programmed, or `None` if the
+    /// block is full.
+    pub fn next_programmable(&self) -> Option<u32> {
+        (self.write_cursor < self.states.len() as u32).then_some(self.write_cursor)
+    }
+
+    /// Number of `Valid` pages.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid_pages
+    }
+
+    /// Number of `Free` (programmable) pages remaining.
+    pub fn free_pages(&self) -> u32 {
+        self.states.len() as u32 - self.write_cursor
+    }
+
+    /// Completed P/E cycles.
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// True if the block was retired for wear.
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
+
+    /// Retires the block (no further programs or erases).
+    pub fn retire(&mut self) {
+        self.retired = true;
+    }
+
+    /// Marks `page` programmed. Caller must have validated ordering.
+    pub(crate) fn mark_programmed(&mut self, page: u32) {
+        debug_assert_eq!(page, self.write_cursor);
+        self.states[page as usize] = PageState::Valid;
+        self.write_cursor += 1;
+        self.valid_pages += 1;
+    }
+
+    /// Marks a `Valid` page `Invalid` (its logical contents moved elsewhere).
+    /// Returns `false` if the page was not valid.
+    pub fn invalidate(&mut self, page: u32) -> bool {
+        if self.states[page as usize] == PageState::Valid {
+            self.states[page as usize] = PageState::Invalid;
+            self.valid_pages -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Adds artificial wear (experiments age a device without erasing it
+    /// billions of times). Does not retire the block.
+    pub(crate) fn add_wear(&mut self, pe: u64) {
+        self.erase_count += pe;
+    }
+
+    /// Resets the block after an erase and bumps the wear counter.
+    pub(crate) fn mark_erased(&mut self) {
+        for s in &mut self.states {
+            *s = PageState::Free;
+        }
+        self.write_cursor = 0;
+        self.valid_pages = 0;
+        self.erase_count += 1;
+    }
+}
+
+/// Where page contents live.
+#[derive(Debug, Clone)]
+pub enum Backing {
+    /// No data is stored; reads return `None`. Timing and state tracking
+    /// still function. Use for capacity-scale experiments.
+    Phantom,
+    /// Real bytes per page, keyed by flat page index within the die.
+    Data(HashMap<u64, Bytes>),
+}
+
+impl Backing {
+    /// An empty functional store.
+    pub fn data() -> Self {
+        Backing::Data(HashMap::new())
+    }
+
+    /// True if this store keeps real bytes.
+    pub fn is_functional(&self) -> bool {
+        matches!(self, Backing::Data(_))
+    }
+
+    /// Stores `bytes` for page `index` (no-op for phantom).
+    pub fn put(&mut self, index: u64, bytes: Bytes) {
+        if let Backing::Data(map) = self {
+            map.insert(index, bytes);
+        }
+    }
+
+    /// Contents of page `index`, if stored.
+    pub fn get(&self, index: u64) -> Option<Bytes> {
+        match self {
+            Backing::Phantom => None,
+            Backing::Data(map) => map.get(&index).cloned(),
+        }
+    }
+
+    /// Drops contents of page `index` (after erase).
+    pub fn remove(&mut self, index: u64) {
+        if let Backing::Data(map) = self {
+            map.remove(&index);
+        }
+    }
+
+    /// Number of pages with stored contents.
+    pub fn stored_pages(&self) -> usize {
+        match self {
+            Backing::Phantom => 0,
+            Backing::Data(map) => map.len(),
+        }
+    }
+}
+
+/// Builds the per-block state table for a die of geometry `geo`.
+pub fn new_block_table(geo: &NandGeometry) -> Vec<BlockState> {
+    (0..geo.blocks_per_die())
+        .map(|_| BlockState::new(geo.pages_per_block))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_lifecycle() {
+        let mut b = BlockState::new(4);
+        assert_eq!(b.next_programmable(), Some(0));
+        assert_eq!(b.free_pages(), 4);
+        b.mark_programmed(0);
+        b.mark_programmed(1);
+        assert_eq!(b.valid_pages(), 2);
+        assert_eq!(b.next_programmable(), Some(2));
+        assert!(b.invalidate(0));
+        assert!(!b.invalidate(0), "double invalidate must be rejected");
+        assert_eq!(b.valid_pages(), 1);
+        assert_eq!(b.page_state(0), PageState::Invalid);
+        b.mark_erased();
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.next_programmable(), Some(0));
+        assert_eq!(b.page_state(0), PageState::Free);
+    }
+
+    #[test]
+    fn block_fills_up() {
+        let mut b = BlockState::new(2);
+        b.mark_programmed(0);
+        b.mark_programmed(1);
+        assert_eq!(b.next_programmable(), None);
+        assert_eq!(b.free_pages(), 0);
+    }
+
+    #[test]
+    fn retirement() {
+        let mut b = BlockState::new(2);
+        assert!(!b.is_retired());
+        b.retire();
+        assert!(b.is_retired());
+    }
+
+    #[test]
+    fn phantom_backing_stores_nothing() {
+        let mut s = Backing::Phantom;
+        s.put(7, Bytes::from_static(b"abc"));
+        assert_eq!(s.get(7), None);
+        assert_eq!(s.stored_pages(), 0);
+        assert!(!s.is_functional());
+    }
+
+    #[test]
+    fn data_backing_round_trips() {
+        let mut s = Backing::data();
+        assert!(s.is_functional());
+        s.put(7, Bytes::from_static(b"abc"));
+        assert_eq!(s.get(7).as_deref(), Some(&b"abc"[..]));
+        assert_eq!(s.stored_pages(), 1);
+        s.remove(7);
+        assert_eq!(s.get(7), None);
+    }
+
+    #[test]
+    fn block_table_size() {
+        let geo = NandGeometry {
+            planes: 2,
+            blocks_per_plane: 3,
+            pages_per_block: 4,
+            page_bytes: 512,
+        };
+        assert_eq!(new_block_table(&geo).len(), 6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Analytic wear and reliability model.
+//!
+//! The endurance experiment (reconstructed Figure 11) needs two things:
+//! a raw-bit-error-rate curve as a function of program/erase cycles, and a
+//! projection from erase-rate to device lifetime. Both follow the standard
+//! empirical forms used in flash-reliability literature: RBER grows
+//! super-linearly with P/E cycles, and a block is usable while the RBER
+//! stays under the ECC correction ceiling.
+
+use crate::timing::CellKind;
+use serde::{Deserialize, Serialize};
+
+/// Empirical raw-bit-error-rate model: `rber(pe) = a + b * pe^k`.
+///
+/// Defaults follow published TLC characterization (RBER ~1e-8 fresh,
+/// ~1e-4 near rated endurance, exponent ≈ 2.4).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RberModel {
+    /// Fresh-block error floor.
+    pub a: f64,
+    /// Growth coefficient.
+    pub b: f64,
+    /// Growth exponent.
+    pub k: f64,
+    /// RBER the ECC can still correct (correction ceiling).
+    pub ecc_ceiling: f64,
+}
+
+impl RberModel {
+    /// Default model for a cell kind, calibrated so the ECC ceiling is
+    /// reached near the rated P/E count.
+    pub fn for_cell(cell: CellKind) -> Self {
+        let rated = cell.rated_pe_cycles() as f64;
+        let ceiling = 1e-3;
+        let floor = 1e-8;
+        let k = 2.4;
+        // Solve b so that rber(rated) == ceiling.
+        let b = (ceiling - floor) / rated.powf(k);
+        RberModel { a: floor, b, k, ecc_ceiling: ceiling }
+    }
+
+    /// Raw bit error rate after `pe` program/erase cycles.
+    pub fn rber(&self, pe: u64) -> f64 {
+        self.a + self.b * (pe as f64).powf(self.k)
+    }
+
+    /// Largest P/E count whose RBER is still within the ECC ceiling.
+    pub fn usable_pe_cycles(&self) -> u64 {
+        if self.ecc_ceiling <= self.a {
+            return 0;
+        }
+        (((self.ecc_ceiling - self.a) / self.b).powf(1.0 / self.k)).floor() as u64
+    }
+}
+
+/// Read-retry count as a function of raw bit error rate.
+///
+/// As cells wear, the default read voltages mis-sense more bits and the
+/// controller re-reads with shifted thresholds before ECC converges. The
+/// standard empirical shape: no retries while RBER is far under the ECC
+/// ceiling, then roughly one extra retry per doubling of RBER, saturating
+/// near end of life.
+pub fn read_retries(rber: f64, ecc_ceiling: f64) -> u32 {
+    let floor = ecc_ceiling / 64.0;
+    if rber <= floor {
+        return 0;
+    }
+    let ratio = rber / floor;
+    (ratio.log2().ceil() as u32).min(6)
+}
+
+/// Lifetime projection for a device under a steady erase workload.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LifetimeProjection {
+    /// Total rated P/E budget of the device (blocks × rated cycles).
+    pub total_pe_budget: u64,
+    /// P/E cycles consumed per training step (device-wide erases).
+    pub erases_per_step: f64,
+    /// Training steps until the budget is exhausted (uniform wear).
+    pub steps_to_exhaustion: f64,
+    /// Steps until exhaustion with the observed wear *imbalance*:
+    /// a hotter-than-average block exhausts early and strands the rest.
+    pub steps_to_exhaustion_imbalanced: f64,
+}
+
+impl LifetimeProjection {
+    /// Projects lifetime.
+    ///
+    /// * `blocks` — erase blocks in the device.
+    /// * `rated_pe` — rated cycles per block.
+    /// * `erases_per_step` — measured device-wide erases per training step.
+    /// * `wear_imbalance` — max block erase count ÷ mean erase count
+    ///   observed (1.0 = perfectly level).
+    pub fn project(
+        blocks: u64,
+        rated_pe: u64,
+        erases_per_step: f64,
+        wear_imbalance: f64,
+    ) -> Self {
+        let total = blocks.saturating_mul(rated_pe);
+        let uniform = if erases_per_step > 0.0 {
+            total as f64 / erases_per_step
+        } else {
+            f64::INFINITY
+        };
+        let imb = wear_imbalance.max(1.0);
+        LifetimeProjection {
+            total_pe_budget: total,
+            erases_per_step,
+            steps_to_exhaustion: uniform,
+            steps_to_exhaustion_imbalanced: uniform / imb,
+        }
+    }
+
+    /// Lifetime in wall-clock days given a steady step time in seconds.
+    pub fn days_at(&self, step_seconds: f64) -> f64 {
+        self.steps_to_exhaustion_imbalanced * step_seconds / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rber_is_monotone_in_pe() {
+        let m = RberModel::for_cell(CellKind::Tlc);
+        let mut prev = 0.0;
+        for pe in [0u64, 100, 500, 1000, 2000, 3000, 5000] {
+            let r = m.rber(pe);
+            assert!(r >= prev, "rber must not decrease");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn ceiling_reached_near_rated_endurance() {
+        for cell in [CellKind::Slc, CellKind::Mlc, CellKind::Tlc, CellKind::Qlc] {
+            let m = RberModel::for_cell(cell);
+            let usable = m.usable_pe_cycles();
+            let rated = cell.rated_pe_cycles();
+            assert!(
+                (usable as f64 - rated as f64).abs() / rated as f64 <= 0.01,
+                "{cell:?}: usable {usable} vs rated {rated}"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_rber_is_tiny() {
+        let m = RberModel::for_cell(CellKind::Tlc);
+        assert!(m.rber(0) < 1e-7);
+        assert!(m.rber(CellKind::Tlc.rated_pe_cycles()) >= 9e-4);
+    }
+
+    #[test]
+    fn lifetime_projection_math() {
+        // 1000 blocks × 3000 cycles = 3e6 budget; 3 erases/step → 1e6 steps.
+        let p = LifetimeProjection::project(1000, 3000, 3.0, 1.0);
+        assert_eq!(p.total_pe_budget, 3_000_000);
+        assert!((p.steps_to_exhaustion - 1e6).abs() < 1e-6);
+        assert_eq!(p.steps_to_exhaustion, p.steps_to_exhaustion_imbalanced);
+        // 1 s/step → 1e6 s ≈ 11.57 days.
+        assert!((p.days_at(1.0) - 11.574).abs() < 0.01);
+    }
+
+    #[test]
+    fn imbalance_shortens_lifetime() {
+        let level = LifetimeProjection::project(1000, 3000, 3.0, 1.0);
+        let skewed = LifetimeProjection::project(1000, 3000, 3.0, 2.5);
+        assert!(
+            skewed.steps_to_exhaustion_imbalanced
+                < level.steps_to_exhaustion_imbalanced / 2.0
+        );
+        // Imbalance below 1.0 is clamped.
+        let clamped = LifetimeProjection::project(1000, 3000, 3.0, 0.5);
+        assert_eq!(
+            clamped.steps_to_exhaustion,
+            clamped.steps_to_exhaustion_imbalanced
+        );
+    }
+
+    #[test]
+    fn zero_erase_rate_is_infinite_lifetime() {
+        let p = LifetimeProjection::project(1000, 3000, 0.0, 1.0);
+        assert!(p.steps_to_exhaustion.is_infinite());
+    }
+}

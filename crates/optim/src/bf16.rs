@@ -1,0 +1,123 @@
+//! bfloat16: the upper 16 bits of an IEEE 754 binary32, with
+//! round-to-nearest-even narrowing.
+//!
+//! Some large-model recipes keep gradients in bf16 rather than fp16; the
+//! optimizer-ablation experiment exercises both.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A bfloat16 value, stored as its bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Bf16(pub u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: Bf16 = Bf16(0x7F80);
+    /// A quiet NaN.
+    pub const NAN: Bf16 = Bf16(0x7FC0);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Quiet the NaN, keep the sign and a nonzero payload.
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        let round_bit = 0x0000_8000u32;
+        let lower = bits & 0xFFFF;
+        let mut upper = bits >> 16;
+        if lower > round_bit || (lower == round_bit && (upper & 1) == 1) {
+            upper += 1; // carries correctly into exponent / to infinity
+        }
+        Bf16(upper as u16)
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Raw little-endian bytes.
+    pub fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// From raw little-endian bytes.
+    pub fn from_le_bytes(b: [u8; 2]) -> Bf16 {
+        Bf16(u16::from_le_bytes(b))
+    }
+
+    /// True for either NaN encoding.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(h: Bf16) -> f32 {
+        h.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_then_narrowing_is_identity_for_all_bf16() {
+        for bits in 0..=u16::MAX {
+            let h = Bf16(bits);
+            if h.is_nan() {
+                assert!(Bf16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(Bf16::from_f32(h.to_f32()), h, "bits {bits:#06x}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_ties_to_even() {
+        // 1 + 2^-8 is halfway between 1.0 and the next bf16 (1 + 2^-7).
+        let halfway = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32(halfway), Bf16::ONE);
+        let above = f32::from_bits(halfway.to_bits() + 1);
+        assert_eq!(Bf16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-7));
+    }
+
+    #[test]
+    fn dynamic_range_matches_f32() {
+        // bf16 keeps the f32 exponent: 1e38 stays finite, unlike f16.
+        assert!(Bf16::from_f32(1e38).to_f32().is_finite());
+        assert_eq!(Bf16::from_f32(f32::INFINITY), Bf16::INFINITY);
+    }
+
+    #[test]
+    fn overflow_by_rounding_reaches_infinity() {
+        let just_below = f32::from_bits(0x7F7F_FFFF); // f32::MAX
+        assert_eq!(Bf16::from_f32(just_below), Bf16::INFINITY);
+    }
+
+    #[test]
+    fn nan_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let h = Bf16::from_f32(-3.25);
+        assert_eq!(Bf16::from_le_bytes(h.to_le_bytes()), h);
+        assert_eq!(h.to_f32(), -3.25);
+    }
+}

@@ -1,0 +1,267 @@
+//! IEEE 754 binary16 ("half precision"), implemented from scratch.
+//!
+//! Gradients and working weights in mixed-precision training are fp16, so
+//! the in-storage engine converts at every element. Conversion here follows
+//! the hardware semantics exactly: round-to-nearest-even on narrowing,
+//! gradual underflow to subnormals, saturation to infinity past the
+//! representable range, and NaN preservation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An IEEE 754 binary16 value, stored as its bit pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct F16(pub u16);
+
+const EXP_MASK: u16 = 0x7C00;
+const FRAC_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2⁻¹⁴).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let frac = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN-ness with a quiet NaN payload bit.
+            return if frac == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                F16(sign | EXP_MASK | 0x0200 | ((frac >> 13) as u16 & FRAC_MASK))
+            };
+        }
+
+        // Unbiased exponent.
+        let e = exp - 127;
+        if e >= 16 {
+            // Too large: saturate to infinity (2^16 > 65504 max).
+            return F16(sign | EXP_MASK);
+        }
+        if e >= -14 {
+            // Normal range for f16.
+            // 24-bit significand (implicit 1) must round to 11 bits.
+            let sig = 0x0080_0000 | frac; // implicit one
+            let shift = 13; // 23 -> 10 fraction bits
+            let halfway = 1u32 << (shift - 1);
+            let rest = sig & ((1 << shift) - 1);
+            let mut out = ((e + 15) as u32) << 10 | (sig >> shift) & FRAC_MASK as u32;
+            // Round to nearest, ties to even.
+            if rest > halfway || (rest == halfway && (out & 1) == 1) {
+                out += 1; // may carry into exponent; that is correct
+            }
+            if out >= 0x7C00 {
+                return F16(sign | EXP_MASK); // rounded up to infinity
+            }
+            return F16(sign | out as u16);
+        }
+        if e >= -25 {
+            // Subnormal f16 (including values that round up from below the
+            // subnormal range). The 24-bit significand represents
+            // sig × 2^(e−23); the f16 subnormal unit is 2^−24, so the result
+            // is sig × 2^(e+1), i.e. sig shifted right by −e−1 bits.
+            let sig = 0x0080_0000 | frac;
+            let shift = (-e - 1) as u32;
+            let halfway = 1u32 << (shift - 1);
+            let rest = sig & ((1 << shift) - 1);
+            let mut out = sig >> shift;
+            if rest > halfway || (rest == halfway && (out & 1) == 1) {
+                out += 1;
+            }
+            return F16(sign | out as u16);
+        }
+        // Underflows to zero.
+        F16(sign)
+    }
+
+    /// Converts to `f32` exactly (widening is lossless).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = (self.0 & EXP_MASK) >> 10;
+        let frac = (self.0 & FRAC_MASK) as u32;
+        let bits = match exp {
+            0 => {
+                if frac == 0 {
+                    sign // signed zero
+                } else {
+                    // Subnormal: value = frac × 2⁻²⁴. Normalize by the top
+                    // set bit p: value = 1.m × 2^(p−24), biased exp = 103+p.
+                    let p = 31 - frac.leading_zeros(); // 0..=9
+                    let exp32 = 103 + p;
+                    let frac32 = ((frac << (10 - p)) & FRAC_MASK as u32) << 13;
+                    sign | (exp32 << 23) | frac32
+                }
+            }
+            0x1F => {
+                if frac == 0 {
+                    sign | 0x7F80_0000
+                } else {
+                    sign | 0x7F80_0000 | (frac << 13) | 0x0040_0000
+                }
+            }
+            _ => {
+                let e = (exp as i32 - 15 + 127) as u32;
+                sign | (e << 23) | (frac << 13)
+            }
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Raw little-endian bytes.
+    pub fn to_le_bytes(self) -> [u8; 2] {
+        self.0.to_le_bytes()
+    }
+
+    /// From raw little-endian bytes.
+    pub fn from_le_bytes(b: [u8; 2]) -> F16 {
+        F16(u16::from_le_bytes(b))
+    }
+
+    /// True for either NaN encoding.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & FRAC_MASK) != 0
+    }
+
+    /// True for ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & FRAC_MASK) == 0
+    }
+
+    /// True for zero, subnormal or normal values.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048i32 {
+            let x = i as f32;
+            let h = F16::from_f32(x);
+            assert_eq!(h.to_f32(), x, "integer {i} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), 6.103_515_6e-5);
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+        assert_eq!(F16::NEG_INFINITY.to_f32(), f32::NEG_INFINITY);
+        assert!(F16::NAN.to_f32().is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(F16::from_f32(65536.0), F16::INFINITY);
+        assert_eq!(F16::from_f32(1e30), F16::INFINITY);
+        assert_eq!(F16::from_f32(-1e30), F16::NEG_INFINITY);
+        // 65520 is the rounding boundary: rounds to infinity.
+        assert_eq!(F16::from_f32(65520.0), F16::INFINITY);
+        // 65519.996… rounds down to MAX.
+        assert_eq!(F16::from_f32(65519.0), F16::MAX);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10 → ties to even (1.0).
+        let halfway = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway), F16::ONE);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9 → ties to even (1+2^-9).
+        let halfway2 = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway2).to_f32(), 1.0 + 2.0f32.powi(-9));
+        // Just above halfway rounds up.
+        assert_eq!(
+            F16::from_f32(halfway + 1e-7).to_f32(),
+            1.0 + 2.0f32.powi(-10)
+        );
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        let h = F16::from_f32(tiny);
+        assert_eq!(h.0, 1);
+        assert_eq!(h.to_f32(), tiny);
+        // Below half the smallest subnormal flushes to zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-26)), F16::ZERO);
+        // Halfway (2^-25) ties to even → zero.
+        assert_eq!(F16::from_f32(2.0f32.powi(-25)), F16::ZERO);
+        // A generic subnormal round-trips.
+        let x = 3.0 * 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(x).to_f32(), x);
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        let nz = F16::from_f32(-0.0);
+        assert_eq!(nz.0, 0x8000);
+        assert_eq!(nz.to_f32().to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        let h = F16::from_f32(f32::NAN);
+        assert!(h.is_nan());
+        assert!(h.to_f32().is_nan());
+        assert!(!F16::INFINITY.is_nan());
+        assert!(F16::INFINITY.is_infinite());
+        assert!(!F16::ONE.is_infinite());
+        assert!(F16::ONE.is_finite());
+        assert!(!F16::NAN.is_finite());
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let h = F16::from_f32(0.333);
+        assert_eq!(F16::from_le_bytes(h.to_le_bytes()), h);
+    }
+
+    #[test]
+    fn widening_then_narrowing_is_identity_for_all_f16() {
+        // Exhaustive: every finite f16 bit pattern must survive
+        // f16 → f32 → f16 unchanged.
+        for bits in 0..=u16::MAX {
+            let h = F16(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(F16::from_f32(h.to_f32()), h, "bits {bits:#06x}");
+            }
+        }
+    }
+}

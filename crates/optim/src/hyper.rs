@@ -1,0 +1,121 @@
+//! Hyperparameter bundles for the optimizer implementations.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters shared by Adam-family optimizers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdamParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Denominator stabilizer.
+    pub eps: f32,
+    /// Decoupled weight decay (used by AdamW; ignored by plain Adam).
+    pub weight_decay: f32,
+}
+
+impl Default for AdamParams {
+    fn default() -> Self {
+        AdamParams {
+            lr: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.01,
+        }
+    }
+}
+
+impl AdamParams {
+    /// Validates ranges; returns a message describing the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(format!("lr must be positive and finite, got {}", self.lr));
+        }
+        for (name, b) in [("beta1", self.beta1), ("beta2", self.beta2)] {
+            if !(0.0..1.0).contains(&b) {
+                return Err(format!("{name} must be in [0,1), got {b}"));
+            }
+        }
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(format!("eps must be positive and finite, got {}", self.eps));
+        }
+        if !(self.weight_decay.is_finite() && self.weight_decay >= 0.0) {
+            return Err(format!(
+                "weight_decay must be non-negative, got {}",
+                self.weight_decay
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Hyperparameters for SGD with momentum and for Adagrad.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MomentumParams {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Denominator stabilizer (Adagrad only).
+    pub eps: f32,
+}
+
+impl Default for MomentumParams {
+    fn default() -> Self {
+        MomentumParams {
+            lr: 1e-2,
+            momentum: 0.9,
+            eps: 1e-10,
+        }
+    }
+}
+
+impl MomentumParams {
+    /// Validates ranges; returns a message describing the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return Err(format!("lr must be positive and finite, got {}", self.lr));
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(format!("momentum must be in [0,1), got {}", self.momentum));
+        }
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(format!("eps must be positive and finite, got {}", self.eps));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        AdamParams::default().validate().unwrap();
+        MomentumParams::default().validate().unwrap();
+    }
+
+    #[test]
+    fn bad_values_rejected() {
+        let mut p = AdamParams::default();
+        p.lr = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = AdamParams::default();
+        p.beta2 = 1.0;
+        assert!(p.validate().unwrap_err().contains("beta2"));
+        let mut p = AdamParams::default();
+        p.eps = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = AdamParams::default();
+        p.weight_decay = f32::NAN;
+        assert!(p.validate().is_err());
+        let mut m = MomentumParams::default();
+        m.momentum = 1.5;
+        assert!(m.validate().unwrap_err().contains("momentum"));
+    }
+}

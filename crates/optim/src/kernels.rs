@@ -1,0 +1,406 @@
+//! Byte-buffer optimizer kernels.
+//!
+//! These are the element-wise passes that OptimStore executes inside the
+//! SSD and that the baselines execute on the host. All buffers are raw
+//! little-endian bytes — exactly what sits in a NAND page — so the same
+//! kernel runs against flash page contents and against host staging
+//! buffers, guaranteeing bit-identical results.
+
+use crate::bf16::Bf16;
+use crate::f16::F16;
+use crate::optimizer::Optimizer;
+use crate::state::GradDtype;
+use std::error::Error;
+use std::fmt;
+
+/// A malformed kernel invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// A buffer length is not what the element count requires.
+    LengthMismatch {
+        /// Which buffer.
+        buffer: &'static str,
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes required.
+        want: usize,
+    },
+    /// The slot buffer count does not match the optimizer's slot count.
+    SlotCountMismatch {
+        /// Buffers supplied.
+        got: usize,
+        /// Slots the optimizer requires.
+        want: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::LengthMismatch { buffer, got, want } => {
+                write!(f, "buffer `{buffer}` is {got} bytes, expected {want}")
+            }
+            KernelError::SlotCountMismatch { got, want } => {
+                write!(f, "{got} slot buffers supplied, optimizer needs {want}")
+            }
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+/// Widens one 16-bit gradient element to f32.
+#[inline]
+fn widen(dtype: GradDtype, bytes: [u8; 2]) -> f32 {
+    match dtype {
+        GradDtype::F16 => F16::from_le_bytes(bytes).to_f32(),
+        GradDtype::Bf16 => Bf16::from_le_bytes(bytes).to_f32(),
+    }
+}
+
+/// Narrows one f32 to the 16-bit working-weight encoding.
+#[inline]
+fn narrow(dtype: GradDtype, x: f32) -> [u8; 2] {
+    match dtype {
+        GradDtype::F16 => F16::from_f32(x).to_le_bytes(),
+        GradDtype::Bf16 => Bf16::from_f32(x).to_le_bytes(),
+    }
+}
+
+/// Applies `opt` element-wise over raw state buffers.
+///
+/// * `w32` — fp32 master weights, 4 B/element, updated in place.
+/// * `slots` — one buffer per auxiliary slot, each 4 B/element, updated in
+///   place. Order is the optimizer's slot order (e.g. Adam: `m`, then `v`).
+/// * `grads` — 16-bit gradients, 2 B/element.
+/// * `w16_out` — 16-bit working weights, 2 B/element, overwritten.
+/// * `step` — 1-based global step (bias correction).
+///
+/// Returns the number of elements updated.
+///
+/// # Example
+///
+/// ```
+/// use optim_math::{kernels, Adam, F16};
+/// use optim_math::state::GradDtype;
+///
+/// let adam = Adam::default();
+/// let n = 3;
+/// let mut w32: Vec<u8> = (0..n).flat_map(|i| (i as f32).to_le_bytes()).collect();
+/// let mut m = vec![0u8; 4 * n];
+/// let mut v = vec![0u8; 4 * n];
+/// let grads: Vec<u8> = (0..n)
+///     .flat_map(|_| F16::from_f32(1.0).to_le_bytes())
+///     .collect();
+/// let mut w16 = vec![0u8; 2 * n];
+/// let updated = kernels::update_chunk(
+///     &adam,
+///     &mut w32,
+///     &mut [&mut m, &mut v],
+///     &grads,
+///     &mut w16,
+///     GradDtype::F16,
+///     1,
+/// ).unwrap();
+/// assert_eq!(updated, 3);
+/// ```
+pub fn update_chunk(
+    opt: &dyn Optimizer,
+    w32: &mut [u8],
+    slots: &mut [&mut [u8]],
+    grads: &[u8],
+    w16_out: &mut [u8],
+    grad_dtype: GradDtype,
+    step: u64,
+) -> Result<usize, KernelError> {
+    if w32.len() % 4 != 0 {
+        return Err(KernelError::LengthMismatch {
+            buffer: "w32",
+            got: w32.len(),
+            want: w32.len() / 4 * 4,
+        });
+    }
+    let n = w32.len() / 4;
+    let want_slots = opt.state_slots();
+    if slots.len() != want_slots {
+        return Err(KernelError::SlotCountMismatch {
+            got: slots.len(),
+            want: want_slots,
+        });
+    }
+    for (i, s) in slots.iter().enumerate() {
+        if s.len() != 4 * n {
+            let _ = i;
+            return Err(KernelError::LengthMismatch {
+                buffer: "slot",
+                got: s.len(),
+                want: 4 * n,
+            });
+        }
+    }
+    if grads.len() != 2 * n {
+        return Err(KernelError::LengthMismatch {
+            buffer: "grads",
+            got: grads.len(),
+            want: 2 * n,
+        });
+    }
+    if w16_out.len() != 2 * n {
+        return Err(KernelError::LengthMismatch {
+            buffer: "w16_out",
+            got: w16_out.len(),
+            want: 2 * n,
+        });
+    }
+
+    let mut slot_vals = [0.0f32; 4]; // more than any optimizer uses
+    for i in 0..n {
+        let wi = 4 * i;
+        let gi = 2 * i;
+        let w = f32::from_le_bytes(w32[wi..wi + 4].try_into().unwrap());
+        for (k, s) in slots.iter().enumerate() {
+            slot_vals[k] = f32::from_le_bytes(s[wi..wi + 4].try_into().unwrap());
+        }
+        let g = widen(grad_dtype, grads[gi..gi + 2].try_into().unwrap());
+        let new_w = opt.update_scalar(w, &mut slot_vals[..want_slots], g, step);
+        w32[wi..wi + 4].copy_from_slice(&new_w.to_le_bytes());
+        for (k, s) in slots.iter_mut().enumerate() {
+            s[wi..wi + 4].copy_from_slice(&slot_vals[k].to_le_bytes());
+        }
+        w16_out[gi..gi + 2].copy_from_slice(&narrow(grad_dtype, new_w));
+    }
+    Ok(n)
+}
+
+/// Convenience owned-buffer state for reference computations and tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateBuffers {
+    /// fp32 master weights (4 B/element).
+    pub w32: Vec<u8>,
+    /// Auxiliary slots (each 4 B/element).
+    pub slots: Vec<Vec<u8>>,
+    /// 16-bit working weights (2 B/element).
+    pub w16: Vec<u8>,
+}
+
+impl StateBuffers {
+    /// Fresh state for `n` parameters with the given initial master weights.
+    pub fn init(opt: &dyn Optimizer, weights: &[f32], grad_dtype: GradDtype) -> Self {
+        let w32 = weights.iter().flat_map(|w| w.to_le_bytes()).collect();
+        let slots = (0..opt.state_slots())
+            .map(|_| vec![0u8; 4 * weights.len()])
+            .collect();
+        let w16 = weights
+            .iter()
+            .flat_map(|&w| narrow(grad_dtype, w))
+            .collect();
+        StateBuffers { w32, slots, w16 }
+    }
+
+    /// Number of parameters.
+    pub fn len(&self) -> usize {
+        self.w32.len() / 4
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.w32.is_empty()
+    }
+
+    /// Applies one optimizer step over the whole state.
+    pub fn step(
+        &mut self,
+        opt: &dyn Optimizer,
+        grads: &[u8],
+        grad_dtype: GradDtype,
+        step: u64,
+    ) -> Result<usize, KernelError> {
+        let mut slot_refs: Vec<&mut [u8]> =
+            self.slots.iter_mut().map(|s| s.as_mut_slice()).collect();
+        update_chunk(
+            opt,
+            &mut self.w32,
+            &mut slot_refs,
+            grads,
+            &mut self.w16,
+            grad_dtype,
+            step,
+        )
+    }
+
+    /// Master weights decoded to f32 (for assertions).
+    pub fn weights_f32(&self) -> Vec<f32> {
+        self.w32
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect()
+    }
+}
+
+/// Encodes a slice of f32 gradients into raw 16-bit bytes.
+pub fn encode_grads(grads: &[f32], dtype: GradDtype) -> Vec<u8> {
+    grads.iter().flat_map(|&g| narrow(dtype, g)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimizer::{Adam, Adagrad, AdamW, OptimizerKind, SgdMomentum};
+
+    fn grads_bytes(n: usize, val: f32) -> Vec<u8> {
+        encode_grads(&vec![val; n], GradDtype::F16)
+    }
+
+    #[test]
+    fn chunk_matches_scalar_loop() {
+        let adam = Adam::default();
+        let n = 64;
+        let weights: Vec<f32> = (0..n).map(|i| (i as f32) * 0.01 - 0.3).collect();
+        let mut buf = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        let grads = grads_bytes(n, 0.25);
+        buf.step(&adam, &grads, GradDtype::F16, 1).unwrap();
+
+        // Scalar reference.
+        let g = F16::from_f32(0.25).to_f32();
+        for (i, &w0) in weights.iter().enumerate() {
+            let mut slots = [0.0f32; 2];
+            let expect = adam.update_scalar(w0, &mut slots, g, 1);
+            let got = buf.weights_f32()[i];
+            assert_eq!(got.to_bits(), expect.to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn w16_output_is_narrowed_master() {
+        let adam = Adam::default();
+        let weights = [0.5f32, -0.25, 3.0];
+        let mut buf = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        let grads = grads_bytes(3, -1.0);
+        buf.step(&adam, &grads, GradDtype::F16, 1).unwrap();
+        for (i, &w) in buf.weights_f32().iter().enumerate() {
+            let w16 = F16::from_le_bytes(buf.w16[2 * i..2 * i + 2].try_into().unwrap());
+            assert_eq!(w16, F16::from_f32(w), "element {i}");
+        }
+    }
+
+    #[test]
+    fn all_optimizers_run_through_the_kernel() {
+        let opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Adam::default()),
+            Box::new(AdamW::default()),
+            Box::new(SgdMomentum::default()),
+            Box::new(Adagrad::default()),
+        ];
+        for opt in &opts {
+            let weights = vec![1.0f32; 16];
+            let mut buf = StateBuffers::init(opt.as_ref(), &weights, GradDtype::F16);
+            let grads = grads_bytes(16, 0.5);
+            let n = buf.step(opt.as_ref(), &grads, GradDtype::F16, 1).unwrap();
+            assert_eq!(n, 16);
+            for w in buf.weights_f32() {
+                assert!(w < 1.0, "{:?} failed to decrease weights", opt.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn bf16_gradients_work() {
+        let adam = Adam::default();
+        let weights = vec![0.0f32; 8];
+        let mut buf = StateBuffers::init(&adam, &weights, GradDtype::Bf16);
+        let grads = encode_grads(&vec![2.0f32; 8], GradDtype::Bf16);
+        buf.step(&adam, &grads, GradDtype::Bf16, 1).unwrap();
+        for w in buf.weights_f32() {
+            assert!(w < 0.0);
+        }
+    }
+
+    #[test]
+    fn slot_count_mismatch_detected() {
+        let adam = Adam::default();
+        let mut w32 = vec![0u8; 16];
+        let mut m = vec![0u8; 16];
+        let grads = vec![0u8; 8];
+        let mut w16 = vec![0u8; 8];
+        let err = update_chunk(
+            &adam,
+            &mut w32,
+            &mut [&mut m], // Adam needs two
+            &grads,
+            &mut w16,
+            GradDtype::F16,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(err, KernelError::SlotCountMismatch { got: 1, want: 2 });
+    }
+
+    #[test]
+    fn length_mismatches_detected() {
+        let sgd = SgdMomentum::default();
+        let mut w32 = vec![0u8; 16]; // 4 params
+        let mut m = vec![0u8; 12]; // wrong
+        let grads = vec![0u8; 8];
+        let mut w16 = vec![0u8; 8];
+        let err = update_chunk(
+            &sgd,
+            &mut w32,
+            &mut [&mut m],
+            &grads,
+            &mut w16,
+            GradDtype::F16,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, KernelError::LengthMismatch { buffer: "slot", .. }));
+
+        let mut m = vec![0u8; 16];
+        let bad_grads = vec![0u8; 6];
+        let err = update_chunk(
+            &sgd,
+            &mut w32,
+            &mut [&mut m],
+            &bad_grads,
+            &mut w16,
+            GradDtype::F16,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, KernelError::LengthMismatch { buffer: "grads", .. }));
+    }
+
+    #[test]
+    fn empty_buffers_are_fine() {
+        let adam = Adam::default();
+        let mut buf = StateBuffers::init(&adam, &[], GradDtype::F16);
+        assert!(buf.is_empty());
+        let n = buf.step(&adam, &[], GradDtype::F16, 1).unwrap();
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn kernel_is_deterministic_across_invocations() {
+        let adam = AdamW::default();
+        let weights: Vec<f32> = (0..32).map(|i| (i as f32).cos()).collect();
+        let grads = encode_grads(
+            &(0..32).map(|i| (i as f32).sin() * 0.1).collect::<Vec<_>>(),
+            GradDtype::F16,
+        );
+        let run = || {
+            let mut buf = StateBuffers::init(&adam, &weights, GradDtype::F16);
+            for step in 1..=5 {
+                buf.step(&adam, &grads, GradDtype::F16, step).unwrap();
+            }
+            buf
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slots_kinds_have_expected_counts() {
+        assert_eq!(OptimizerKind::Adam.state_slots(), 2);
+        assert_eq!(OptimizerKind::Adagrad.state_slots(), 1);
+    }
+}

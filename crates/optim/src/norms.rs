@@ -1,0 +1,86 @@
+//! Gradient norms and global-norm clipping.
+//!
+//! Large-model recipes clip the gradient's *global* L2 norm before the
+//! optimizer step. Clipping happens host-side (the host produces the
+//! gradients), but it determines what the in-storage engine receives, so
+//! the training drivers in this repository use these utilities.
+
+/// Sum of squares of a slice (f64 accumulation for stability).
+pub fn sum_of_squares(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| (x as f64) * (x as f64)).sum()
+}
+
+/// Global L2 norm of a gradient split into shards (the multi-device case:
+/// each shard contributes a partial sum, reduced here).
+pub fn global_norm<'a>(shards: impl IntoIterator<Item = &'a [f32]>) -> f64 {
+    shards
+        .into_iter()
+        .map(sum_of_squares)
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Scales `grads` in place so its global norm is at most `max_norm`.
+/// Returns the scale factor applied (1.0 if no clipping was needed).
+///
+/// # Panics
+/// Panics if `max_norm` is not positive and finite.
+pub fn clip_global_norm(grads: &mut [f32], max_norm: f64) -> f64 {
+    assert!(
+        max_norm.is_finite() && max_norm > 0.0,
+        "max_norm must be positive and finite, got {max_norm}"
+    );
+    let norm = sum_of_squares(grads).sqrt();
+    if norm <= max_norm || norm == 0.0 {
+        return 1.0;
+    }
+    let scale = max_norm / norm;
+    for g in grads.iter_mut() {
+        *g = (*g as f64 * scale) as f32;
+    }
+    scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_of_unit_vectors() {
+        let v = [3.0f32, 4.0];
+        assert!((sum_of_squares(&v).sqrt() - 5.0).abs() < 1e-12);
+        assert!((global_norm([&v[..], &v[..]]) - (50.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clipping_caps_the_norm() {
+        let mut v = vec![3.0f32, 4.0]; // norm 5
+        let scale = clip_global_norm(&mut v, 1.0);
+        assert!((scale - 0.2).abs() < 1e-12);
+        let norm = sum_of_squares(&v).sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn small_gradients_pass_through_unchanged() {
+        let mut v = vec![0.1f32, -0.2, 0.05];
+        let before = v.clone();
+        let scale = clip_global_norm(&mut v, 10.0);
+        assert_eq!(scale, 1.0);
+        assert_eq!(v, before);
+    }
+
+    #[test]
+    fn zero_gradient_is_left_alone() {
+        let mut v = vec![0.0f32; 8];
+        assert_eq!(clip_global_norm(&mut v, 1.0), 1.0);
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_norm")]
+    fn non_positive_max_norm_panics() {
+        let mut v = vec![1.0f32];
+        let _ = clip_global_norm(&mut v, 0.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Resource-occupancy models: [`Timeline`] (a serially reusable unit) and
+//! [`BandwidthLink`] (a shared byte pipe).
+//!
+//! The SSD and NDP simulators are bandwidth-dominated, so they model
+//! contention with *busy-until* scheduling: a request arriving at time `t`
+//! on a resource busy until `b` starts at `max(t, b)` and occupies the
+//! resource for its service time. This is exactly the discrete-event
+//! semantics of an M/D/1-style server, collapsed to closed form — it keeps
+//! million-page experiments fast while remaining cycle-faithful for
+//! serialized resources.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A half-open occupancy window `[start, end)` granted by a resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Window {
+    /// When the request actually began service (≥ its arrival time).
+    pub start: SimTime,
+    /// When the resource becomes free again.
+    pub end: SimTime,
+}
+
+impl Window {
+    /// Service duration of the window.
+    pub fn duration(&self) -> SimDuration {
+        self.end - self.start
+    }
+}
+
+/// A serially reusable resource: one request at a time, FIFO by arrival.
+///
+/// Examples in this repository: a NAND plane executing an array operation,
+/// an on-die processing engine's ALU pipe, a GC copy engine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Timeline {
+    name: String,
+    busy_until: SimTime,
+    busy_total: SimDuration,
+    requests: u64,
+}
+
+impl Timeline {
+    /// Creates an idle resource. `name` appears in utilization reports.
+    pub fn new(name: impl Into<String>) -> Self {
+        Timeline {
+            name: name.into(),
+            busy_until: SimTime::ZERO,
+            busy_total: SimDuration::ZERO,
+            requests: 0,
+        }
+    }
+
+    /// Reserves the resource for `dur`, no earlier than `earliest`.
+    /// Returns the granted window.
+    pub fn acquire(&mut self, earliest: SimTime, dur: SimDuration) -> Window {
+        let start = earliest.max(self.busy_until);
+        let end = start + dur;
+        self.busy_until = end;
+        self.busy_total += dur;
+        self.requests += 1;
+        Window { start, end }
+    }
+
+    /// The instant at which the resource next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.busy_until
+    }
+
+    /// Total time the resource has spent busy.
+    pub fn busy_total(&self) -> SimDuration {
+        self.busy_total
+    }
+
+    /// Number of requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Resource name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Utilization over `[0, horizon)`; clamped to `[0, 1]`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        if horizon == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy_total.as_secs_f64() / horizon.as_secs_f64()).min(1.0)
+    }
+
+    /// Resets occupancy and statistics to the idle state.
+    pub fn reset(&mut self) {
+        self.busy_until = SimTime::ZERO;
+        self.busy_total = SimDuration::ZERO;
+        self.requests = 0;
+    }
+}
+
+/// A shared byte pipe with a fixed bandwidth: transfers serialize FIFO and
+/// each occupies the pipe for `bytes / bandwidth`.
+///
+/// Examples: an ONFI channel bus, the PCIe host link, a DRAM port.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BandwidthLink {
+    timeline: Timeline,
+    bytes_per_sec: u64,
+    bytes_moved: u64,
+}
+
+impl BandwidthLink {
+    /// Creates an idle link moving `bytes_per_sec` bytes per second.
+    pub fn new(name: impl Into<String>, bytes_per_sec: u64) -> Self {
+        BandwidthLink {
+            timeline: Timeline::new(name),
+            bytes_per_sec,
+            bytes_moved: 0,
+        }
+    }
+
+    /// Schedules a transfer of `bytes` arriving at `earliest`; returns its
+    /// occupancy window.
+    pub fn transfer(&mut self, earliest: SimTime, bytes: u64) -> Window {
+        let dur = SimDuration::for_transfer(bytes, self.bytes_per_sec);
+        self.bytes_moved = self.bytes_moved.saturating_add(bytes);
+        self.timeline.acquire(earliest, dur)
+    }
+
+    /// The instant at which the link next becomes free.
+    pub fn free_at(&self) -> SimTime {
+        self.timeline.free_at()
+    }
+
+    /// Configured bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> u64 {
+        self.bytes_per_sec
+    }
+
+    /// Total bytes moved since creation (or the last [`reset`](Self::reset)).
+    pub fn bytes_moved(&self) -> u64 {
+        self.bytes_moved
+    }
+
+    /// Total time the link has spent busy.
+    pub fn busy_total(&self) -> SimDuration {
+        self.timeline.busy_total()
+    }
+
+    /// Number of transfers served.
+    pub fn transfers(&self) -> u64 {
+        self.timeline.requests()
+    }
+
+    /// Link name.
+    pub fn name(&self) -> &str {
+        self.timeline.name()
+    }
+
+    /// Utilization over `[0, horizon)`.
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        self.timeline.utilization(horizon)
+    }
+
+    /// Resets occupancy and statistics to the idle state.
+    pub fn reset(&mut self) {
+        self.timeline.reset();
+        self.bytes_moved = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_serializes_requests() {
+        let mut t = Timeline::new("plane");
+        let a = t.acquire(SimTime::ZERO, SimDuration::from_us(40));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.end, SimTime::from_us(40));
+        // Arrives while busy: queued behind `a`.
+        let b = t.acquire(SimTime::from_us(10), SimDuration::from_us(40));
+        assert_eq!(b.start, SimTime::from_us(40));
+        assert_eq!(b.end, SimTime::from_us(80));
+        // Arrives after the resource went idle: starts immediately.
+        let c = t.acquire(SimTime::from_us(100), SimDuration::from_us(5));
+        assert_eq!(c.start, SimTime::from_us(100));
+        assert_eq!(t.requests(), 3);
+        assert_eq!(t.busy_total(), SimDuration::from_us(85));
+    }
+
+    #[test]
+    fn timeline_utilization() {
+        let mut t = Timeline::new("x");
+        t.acquire(SimTime::ZERO, SimDuration::from_us(25));
+        let u = t.utilization(SimTime::from_us(100));
+        assert!((u - 0.25).abs() < 1e-12);
+        assert_eq!(t.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn link_transfer_time_matches_bandwidth() {
+        // 2 GB/s link, 1 MiB transfer → 524 288 ns.
+        let mut l = BandwidthLink::new("bus", 2_000_000_000);
+        let w = l.transfer(SimTime::ZERO, 1 << 20);
+        assert_eq!(w.duration(), SimDuration::from_ns(524_288));
+        assert_eq!(l.bytes_moved(), 1 << 20);
+    }
+
+    #[test]
+    fn link_back_to_back_transfers_queue() {
+        let mut l = BandwidthLink::new("bus", 1_000_000_000);
+        let w1 = l.transfer(SimTime::ZERO, 1_000);
+        let w2 = l.transfer(SimTime::ZERO, 1_000);
+        assert_eq!(w1.end, w2.start);
+        assert_eq!(l.transfers(), 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut l = BandwidthLink::new("bus", 1_000_000_000);
+        l.transfer(SimTime::ZERO, 1_000);
+        l.reset();
+        assert_eq!(l.bytes_moved(), 0);
+        assert_eq!(l.free_at(), SimTime::ZERO);
+        assert_eq!(l.busy_total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn window_duration() {
+        let w = Window {
+            start: SimTime::from_ns(10),
+            end: SimTime::from_ns(35),
+        };
+        assert_eq!(w.duration(), SimDuration::from_ns(25));
+    }
+}

@@ -1,0 +1,127 @@
+//! One flash channel: an ONFI bus shared by several dies.
+
+use nandsim::{Die, NandError, OnfiBus, PhysPage};
+use bytes::Bytes;
+use simkit::{SimTime, Window};
+
+/// A channel: the bus plus the dies behind it.
+///
+/// The channel is where the two NDP placements differ physically:
+/// *channel-level* engines sit on the controller side of this bus (operands
+/// cross it), *die-level* engines sit behind it (operands do not).
+#[derive(Debug)]
+pub struct Channel {
+    id: u32,
+    bus: OnfiBus,
+    dies: Vec<Die>,
+}
+
+impl Channel {
+    /// Creates channel `id` with the given dies.
+    pub fn new(id: u32, bus: OnfiBus, dies: Vec<Die>) -> Self {
+        Channel { id, bus, dies }
+    }
+
+    /// Channel index.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Dies on this channel.
+    pub fn dies(&self) -> &[Die] {
+        &self.dies
+    }
+
+    /// Mutable access to a die.
+    pub fn die_mut(&mut self, index: u32) -> &mut Die {
+        &mut self.dies[index as usize]
+    }
+
+    /// A die by index.
+    pub fn die(&self, index: u32) -> &Die {
+        &self.dies[index as usize]
+    }
+
+    /// The shared bus.
+    pub fn bus(&self) -> &OnfiBus {
+        &self.bus
+    }
+
+    /// Mutable access to the bus (NDP engines schedule their own traffic).
+    pub fn bus_mut(&mut self) -> &mut OnfiBus {
+        &mut self.bus
+    }
+
+    /// Reads a page from a die **to the controller**: array read, then a
+    /// bus transfer of the page. Returns the combined window (start of the
+    /// array read to end of the bus transfer) and the data.
+    pub fn read_to_controller(
+        &mut self,
+        die_index: u32,
+        page: PhysPage,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), NandError> {
+        let page_bytes = self.dies[die_index as usize].config().geometry.page_bytes as u64;
+        let (array, data) = self.dies[die_index as usize].read_page(page, at)?;
+        let bus = self.bus.transfer(array.end, page_bytes);
+        Ok((Window { start: array.start, end: bus.end }, data))
+    }
+
+    /// Programs a page **from the controller**: a bus transfer of the page
+    /// followed by the array program.
+    pub fn program_from_controller(
+        &mut self,
+        die_index: u32,
+        page: PhysPage,
+        data: Option<&[u8]>,
+        at: SimTime,
+    ) -> Result<Window, NandError> {
+        let page_bytes = self.dies[die_index as usize].config().geometry.page_bytes as u64;
+        let bus = self.bus.transfer(at, page_bytes);
+        let prog = self.dies[die_index as usize].program_page(page, bus.end, data)?;
+        Ok(Window { start: bus.start, end: prog.end })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nandsim::NandConfig;
+
+    fn channel() -> Channel {
+        let cfg = NandConfig::tiny_test_die();
+        let dies = (0..2).map(|i| Die::new_functional(i, cfg)).collect();
+        Channel::new(0, OnfiBus::new("ch0", &cfg.timing), dies)
+    }
+
+    #[test]
+    fn controller_read_crosses_the_bus() {
+        let mut ch = channel();
+        let p = PhysPage { plane: 0, block: 0, page: 0 };
+        let data = vec![3u8; ch.die(0).config().geometry.page_bytes as usize];
+        let w = ch.program_from_controller(0, p, Some(&data), SimTime::ZERO).unwrap();
+        let (r, out) = ch.read_to_controller(0, p, w.end).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &data[..]);
+        // Window covers array read + bus transfer: longer than tR alone.
+        let t_read = ch.die(0).config().timing.t_read_lower;
+        assert!(r.duration() > t_read);
+    }
+
+    #[test]
+    fn bus_serializes_across_dies_but_arrays_overlap() {
+        let mut ch = channel();
+        let p = PhysPage { plane: 0, block: 0, page: 0 };
+        let bytes = ch.die(0).config().geometry.page_bytes as usize;
+        let data = vec![1u8; bytes];
+        // Program the same page address on both dies.
+        let w0 = ch.program_from_controller(0, p, Some(&data), SimTime::ZERO).unwrap();
+        let w1 = ch.program_from_controller(1, p, Some(&data), SimTime::ZERO).unwrap();
+        // The second program's bus transfer waited for the first.
+        assert!(w1.start >= SimTime::ZERO);
+        assert!(w1.end > w0.end - ch.die(0).config().timing.t_program);
+        // But both arrays were programming concurrently for most of tPROG:
+        // die1's program ends well before 2× the serial time.
+        let serial = ch.die(0).config().timing.t_program * 2;
+        assert!(w1.end < SimTime::ZERO + serial);
+    }
+}

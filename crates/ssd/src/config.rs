@@ -1,0 +1,279 @@
+//! Device configuration and the Table-2 presets.
+
+use nandsim::NandConfig;
+use serde::{Deserialize, Serialize};
+
+/// PCIe host-link generation/width presets (per-direction bandwidth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PciGen {
+    /// Gen3 ×4 ≈ 3.5 GB/s per direction (effective).
+    Gen3x4,
+    /// Gen4 ×4 ≈ 7 GB/s per direction (effective).
+    Gen4x4,
+    /// Gen5 ×4 ≈ 14 GB/s per direction (effective).
+    Gen5x4,
+    /// An arbitrary per-direction bandwidth in bytes/second.
+    Custom(u64),
+}
+
+impl PciGen {
+    /// Effective per-direction bandwidth in bytes per second.
+    pub fn bytes_per_sec(self) -> u64 {
+        match self {
+            PciGen::Gen3x4 => 3_500_000_000,
+            PciGen::Gen4x4 => 7_000_000_000,
+            PciGen::Gen5x4 => 14_000_000_000,
+            PciGen::Custom(bps) => bps,
+        }
+    }
+}
+
+/// Garbage-collection and allocation policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GcPolicy {
+    /// Start GC on a die when its free-block count drops below this.
+    pub low_watermark: u32,
+    /// Stop GC once the die has at least this many free blocks.
+    pub high_watermark: u32,
+    /// Pick the new active block by lowest erase count (dynamic wear
+    /// levelling) instead of last-freed order.
+    pub wear_leveling: bool,
+    /// Static wear levelling: when the erase-count spread within a die
+    /// exceeds this threshold, the coldest data block is migrated so its
+    /// low-wear cells re-enter circulation. `None` disables (dynamic
+    /// levelling alone cannot touch blocks that hold never-rewritten data).
+    pub static_wl_threshold: Option<u64>,
+}
+
+impl Default for GcPolicy {
+    fn default() -> Self {
+        GcPolicy {
+            low_watermark: 4,
+            high_watermark: 8,
+            wear_leveling: true,
+            static_wl_threshold: None,
+        }
+    }
+}
+
+/// Static configuration of a simulated SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// Number of ONFI channels.
+    pub channels: u32,
+    /// Dies per channel.
+    pub dies_per_channel: u32,
+    /// NAND part used for every die.
+    pub nand: NandConfig,
+    /// Host link.
+    pub pcie: PciGen,
+    /// Controller DRAM port bandwidth in bytes/second (shared by the read
+    /// and write paths of the external interface).
+    pub dram_bytes_per_sec: u64,
+    /// Fraction of physical capacity reserved as over-provisioning
+    /// (not host-visible).
+    pub overprovision: f64,
+    /// GC / allocation policy.
+    pub gc: GcPolicy,
+}
+
+impl SsdConfig {
+    /// Reconstructed Table-2 "base" device: 8 channels × 8 dies of 1 Tbit
+    /// TLC ≈ 8 TB raw, PCIe Gen3 ×4 — the datacenter NVMe SSD of the era
+    /// the paper evaluates (ZeRO-Infinity's testbeds were Gen3 systems).
+    pub fn base() -> Self {
+        SsdConfig {
+            channels: 8,
+            dies_per_channel: 8,
+            nand: NandConfig::tlc_1tb_die(),
+            pcie: PciGen::Gen3x4,
+            dram_bytes_per_sec: 25_600_000_000, // LPDDR4X-3200 ×64 controller memory
+            overprovision: 0.07,
+            gc: GcPolicy::default(),
+        }
+    }
+
+    /// "Big" device: 16 channels × 8 dies ≈ 16 TB raw.
+    pub fn big() -> Self {
+        SsdConfig {
+            channels: 16,
+            ..Self::base()
+        }
+    }
+
+    /// "Small" device: 4 channels × 4 dies ≈ 2 TB raw.
+    pub fn small() -> Self {
+        SsdConfig {
+            channels: 4,
+            dies_per_channel: 4,
+            ..Self::base()
+        }
+    }
+
+    /// Tiny functional-test device: 2 channels × 2 dies of 16 MiB test
+    /// dies (64 MiB raw) — small enough to verify every byte.
+    pub fn tiny() -> Self {
+        SsdConfig {
+            channels: 2,
+            dies_per_channel: 2,
+            nand: NandConfig::tiny_test_die(),
+            pcie: PciGen::Gen4x4,
+            dram_bytes_per_sec: 12_800_000_000,
+            overprovision: 0.25,
+            gc: GcPolicy {
+                low_watermark: 4,
+                high_watermark: 8,
+                wear_leveling: true,
+                static_wl_threshold: None,
+            },
+        }
+    }
+
+    /// Total dies in the device.
+    pub fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel
+    }
+
+    /// Raw physical capacity in bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.total_dies() as u64 * self.nand.geometry.die_bytes()
+    }
+
+    /// Host-visible capacity in bytes (raw minus over-provisioning).
+    pub fn logical_bytes(&self) -> u64 {
+        (self.raw_bytes() as f64 * (1.0 - self.overprovision)) as u64
+    }
+
+    /// Host-visible capacity in logical pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_bytes() / self.nand.geometry.page_bytes as u64
+    }
+
+    /// Host-visible logical pages that map to one die's share (used by
+    /// die-striped layouts).
+    pub fn logical_pages_per_die(&self) -> u64 {
+        self.logical_pages() / self.total_dies() as u64
+    }
+
+    /// Aggregate ONFI bus bandwidth across channels, bytes/second.
+    pub fn aggregate_bus_bytes_per_sec(&self) -> u64 {
+        self.channels as u64 * self.nand.timing.bus_bytes_per_sec()
+    }
+
+    /// Aggregate array **read** bandwidth across all dies, bytes/second.
+    pub fn aggregate_array_read_bytes_per_sec(&self) -> u64 {
+        self.total_dies() as u64 * self.nand.array_read_bytes_per_sec()
+    }
+
+    /// Aggregate array **program** bandwidth across all dies, bytes/second.
+    pub fn aggregate_array_program_bytes_per_sec(&self) -> u64 {
+        self.total_dies() as u64 * self.nand.array_program_bytes_per_sec()
+    }
+
+    /// Sanity-checks the configuration, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || self.dies_per_channel == 0 {
+            return Err("device needs at least one channel and one die".into());
+        }
+        if self.total_dies() > 0xFFFF {
+            return Err("die count exceeds the packed-PPA limit (65535)".into());
+        }
+        if !(0.0..0.9).contains(&self.overprovision) {
+            return Err(format!(
+                "overprovision must be in [0, 0.9), got {}",
+                self.overprovision
+            ));
+        }
+        if self.gc.low_watermark >= self.gc.high_watermark {
+            return Err("GC low watermark must be below the high watermark".into());
+        }
+        if (self.gc.high_watermark as u64) >= self.nand.geometry.blocks_per_die() {
+            return Err("GC high watermark exceeds blocks per die".into());
+        }
+        if self.dram_bytes_per_sec == 0 {
+            return Err("controller DRAM bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for cfg in [SsdConfig::base(), SsdConfig::big(), SsdConfig::small(), SsdConfig::tiny()] {
+            cfg.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn base_capacity_is_8tb_class() {
+        let cfg = SsdConfig::base();
+        let tb = cfg.raw_bytes() as f64 / 1e12;
+        assert!((7.0..10.0).contains(&tb), "raw = {tb} TB");
+        assert!(cfg.logical_bytes() < cfg.raw_bytes());
+    }
+
+    #[test]
+    fn bandwidth_hierarchy_of_base_device() {
+        let cfg = SsdConfig::base();
+        // The OptimStore premise: aggregate internal read bandwidth exceeds
+        // the external link.
+        assert!(
+            cfg.aggregate_array_read_bytes_per_sec() > 2 * cfg.pcie.bytes_per_sec(),
+            "internal read {} vs pcie {}",
+            cfg.aggregate_array_read_bytes_per_sec(),
+            cfg.pcie.bytes_per_sec()
+        );
+        // Aggregate bus bandwidth also exceeds PCIe.
+        assert!(cfg.aggregate_bus_bytes_per_sec() > cfg.pcie.bytes_per_sec());
+        // Program bandwidth is the internal floor.
+        assert!(
+            cfg.aggregate_array_program_bytes_per_sec()
+                < cfg.aggregate_array_read_bytes_per_sec()
+        );
+    }
+
+    #[test]
+    fn pcie_presets_ordered() {
+        assert!(PciGen::Gen3x4.bytes_per_sec() < PciGen::Gen4x4.bytes_per_sec());
+        assert!(PciGen::Gen4x4.bytes_per_sec() < PciGen::Gen5x4.bytes_per_sec());
+        assert_eq!(PciGen::Custom(42).bytes_per_sec(), 42);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut cfg = SsdConfig::base();
+        cfg.channels = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::base();
+        cfg.overprovision = 0.95;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::base();
+        cfg.gc.low_watermark = cfg.gc.high_watermark;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SsdConfig::base();
+        cfg.dram_bytes_per_sec = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn logical_page_accounting() {
+        let cfg = SsdConfig::tiny();
+        let pages = cfg.logical_pages();
+        assert!(pages > 0);
+        assert_eq!(
+            pages,
+            cfg.logical_bytes() / cfg.nand.geometry.page_bytes as u64
+        );
+        assert_eq!(
+            cfg.logical_pages_per_die(),
+            pages / cfg.total_dies() as u64
+        );
+    }
+}

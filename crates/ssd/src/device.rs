@@ -1,0 +1,881 @@
+//! The SSD device: host interface, controller resources, FTL orchestration,
+//! garbage collection, and the internal operations used by in-storage
+//! processing.
+
+use crate::address::{DieId, Lpn, Ppa};
+use crate::channel::Channel;
+use crate::config::SsdConfig;
+use crate::error::SsdError;
+use crate::ftl::Ftl;
+use crate::stats::DeviceStats;
+use crate::trace::{OpKind, TraceEvent, TraceLog};
+use bytes::Bytes;
+use nandsim::{Die, OnfiBus};
+use simkit::{BandwidthLink, SimTime, Window};
+
+/// A complete simulated SSD.
+///
+/// All host-visible operations are page-granular: the host reads and writes
+/// [`Lpn`]s of `config.nand.geometry.page_bytes` bytes. Timing follows the
+/// physical path (PCIe ⇄ controller DRAM ⇄ ONFI channel ⇄ die array) with
+/// every shared resource modelled as a busy-until server, so issuing many
+/// operations at the same instant yields exactly the pipelining a real
+/// controller achieves.
+#[derive(Debug)]
+pub struct Device {
+    config: SsdConfig,
+    channels: Vec<Channel>,
+    ftl: Ftl,
+    pcie_in: BandwidthLink,
+    pcie_out: BandwidthLink,
+    dram: BandwidthLink,
+    stats: DeviceStats,
+    functional: bool,
+    /// Optional operation trace (off by default; see [`crate::trace`]).
+    trace: Option<TraceLog>,
+    /// Per-die erase counters (cheap cadence gate for static WL).
+    per_die_erases: Vec<u64>,
+    /// Per-die erase count at the last static-WL scan.
+    wl_marks: Vec<u64>,
+}
+
+impl Device {
+    /// Creates a phantom-mode device (timing and state only, no page data).
+    pub fn new(config: SsdConfig) -> Self {
+        Self::build(config, false)
+    }
+
+    /// Creates a functional device that stores every page's bytes.
+    pub fn new_functional(config: SsdConfig) -> Self {
+        Self::build(config, true)
+    }
+
+    fn build(config: SsdConfig, functional: bool) -> Self {
+        config.validate().expect("invalid SsdConfig");
+        let mut dies_all = Vec::new();
+        let channels: Vec<Channel> = (0..config.channels)
+            .map(|ch| {
+                let dies: Vec<Die> = (0..config.dies_per_channel)
+                    .map(|i| {
+                        let id = ch * config.dies_per_channel + i;
+                        if functional {
+                            Die::new_functional(id, config.nand)
+                        } else {
+                            Die::new(id, config.nand)
+                        }
+                    })
+                    .collect();
+                let bus = OnfiBus::new(format!("ch{ch}"), &config.nand.timing);
+                Channel::new(ch, bus, dies)
+            })
+            .collect();
+        for ch in &channels {
+            for d in ch.dies() {
+                dies_all.push(d);
+            }
+        }
+        // Ftl::new needs a flat die slice; rebuild the view.
+        let ftl = {
+            let flat: Vec<&Die> = channels.iter().flat_map(|c| c.dies().iter()).collect();
+            // DieAlloc::new only reads geometry, so cloning through refs is
+            // avoided by constructing from the config directly.
+            let _ = &flat;
+            Ftl::new(&config, &make_ftl_seed_dies(&config))
+        };
+        let pcie = config.pcie.bytes_per_sec();
+        Device {
+            channels,
+            ftl,
+            pcie_in: BandwidthLink::new("pcie-in", pcie),
+            pcie_out: BandwidthLink::new("pcie-out", pcie),
+            dram: BandwidthLink::new("ctrl-dram", config.dram_bytes_per_sec),
+            stats: DeviceStats::default(),
+            functional,
+            trace: None,
+            per_die_erases: vec![0; config.total_dies() as usize],
+            wl_marks: vec![0; config.total_dies() as usize],
+            config,
+        }
+    }
+
+    /// Static configuration.
+    pub fn config(&self) -> &SsdConfig {
+        &self.config
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &DeviceStats {
+        &self.stats
+    }
+
+    /// True if page contents are stored.
+    pub fn is_functional(&self) -> bool {
+        self.functional
+    }
+
+    /// The channels (read-only).
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Mutable access to one channel (NDP engines schedule bus traffic).
+    pub fn channel_mut(&mut self, ch: u32) -> &mut Channel {
+        &mut self.channels[ch as usize]
+    }
+
+    /// A die by id.
+    pub fn die(&self, id: DieId) -> &Die {
+        self.channels[id.channel as usize].die(id.index)
+    }
+
+    /// The inbound (host→device) PCIe link (read-only).
+    pub fn pcie_in(&self) -> &BandwidthLink {
+        &self.pcie_in
+    }
+
+    /// The outbound (device→host) PCIe link (read-only).
+    pub fn pcie_out(&self) -> &BandwidthLink {
+        &self.pcie_out
+    }
+
+    /// The controller DRAM port (read-only).
+    pub fn dram(&self) -> &BandwidthLink {
+        &self.dram
+    }
+
+    /// The inbound (host→device) PCIe link.
+    pub fn pcie_in_mut(&mut self) -> &mut BandwidthLink {
+        &mut self.pcie_in
+    }
+
+    /// The outbound (device→host) PCIe link.
+    pub fn pcie_out_mut(&mut self) -> &mut BandwidthLink {
+        &mut self.pcie_out
+    }
+
+    /// The controller DRAM port.
+    pub fn dram_mut(&mut self) -> &mut BandwidthLink {
+        &mut self.dram
+    }
+
+    /// The FTL (read-only view for inspection).
+    pub fn ftl(&self) -> &Ftl {
+        &self.ftl
+    }
+
+    /// Host-visible capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.config.logical_pages()
+    }
+
+    /// Page size in bytes.
+    pub fn page_bytes(&self) -> usize {
+        self.config.nand.geometry.page_bytes as usize
+    }
+
+    /// Default placement: logical pages stripe round-robin across dies
+    /// (channel-major), maximizing parallelism for sequential access.
+    pub fn die_for_lpn(&self, lpn: Lpn) -> DieId {
+        let flat = (lpn.0 % self.config.total_dies() as u64) as u32;
+        DieId::from_flat(flat, self.config.dies_per_channel)
+    }
+
+    fn check_lpn(&self, lpn: Lpn) -> Result<(), SsdError> {
+        if lpn.0 >= self.logical_pages() {
+            return Err(SsdError::LpnOutOfRange {
+                lpn,
+                capacity: self.logical_pages(),
+            });
+        }
+        Ok(())
+    }
+
+    fn check_data(&self, data: Option<&[u8]>) -> Result<(), SsdError> {
+        match data {
+            Some(d) if d.len() != self.page_bytes() => Err(SsdError::WrongLength {
+                got: d.len(),
+                want: self.page_bytes(),
+            }),
+            None if self.functional => Err(SsdError::WrongLength {
+                got: 0,
+                want: self.page_bytes(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Writes one host page: PCIe in → DRAM → channel bus → array program.
+    /// Returns the full persistence window.
+    pub fn host_write_page(
+        &mut self,
+        lpn: Lpn,
+        data: Option<&[u8]>,
+        at: SimTime,
+    ) -> Result<Window, SsdError> {
+        self.check_lpn(lpn)?;
+        self.check_data(data)?;
+        let bytes = self.page_bytes() as u64;
+        let pcie = self.pcie_in.transfer(at, bytes);
+        self.stats.pcie_in_busy += pcie.duration();
+        // Store-and-forward through controller DRAM: one write, one read.
+        let dram_in = self.dram.transfer(pcie.end, bytes);
+        let dram = self.dram.transfer(dram_in.end, bytes);
+        let die = self.ftl.lookup(lpn).map(|p| p.die).unwrap_or_else(|| self.die_for_lpn(lpn));
+        let win = self.program_internal(lpn, die, data, dram.end, true)?;
+        self.stats.host_writes.incr();
+        self.stats.user_programs.incr();
+        Ok(Window { start: pcie.start, end: win.end })
+    }
+
+    /// Reads one host page: array read → channel bus → DRAM → PCIe out.
+    pub fn host_read_page(
+        &mut self,
+        lpn: Lpn,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.check_lpn(lpn)?;
+        let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
+        let bytes = self.page_bytes() as u64;
+        let (chan_win, data) = self.channels[ppa.die.channel as usize]
+            .read_to_controller(ppa.die.index, ppa.page, at)?;
+        self.trace_op(OpKind::Read, Some(lpn), ppa.die, chan_win);
+        // Store-and-forward through controller DRAM: one write, one read.
+        let dram_in = self.dram.transfer(chan_win.end, bytes);
+        let dram = self.dram.transfer(dram_in.end, bytes);
+        let pcie = self.pcie_out.transfer(dram.end, bytes);
+        self.stats.pcie_out_busy += pcie.duration();
+        self.stats.host_reads.incr();
+        Ok((Window { start: chan_win.start, end: pcie.end }, data))
+    }
+
+    /// Unmaps a logical page (TRIM), invalidating its physical page.
+    pub fn trim(&mut self, lpn: Lpn) -> Result<(), SsdError> {
+        self.check_lpn(lpn)?;
+        if let Some(stale) = self.ftl.trim(lpn) {
+            invalidate(&mut self.channels, stale);
+        }
+        Ok(())
+    }
+
+    /// **In-storage read, die-local.** Array read only — the page lands in
+    /// the die's page register where an on-die engine consumes it. No bus,
+    /// DRAM, or PCIe traffic.
+    pub fn internal_read_array(
+        &mut self,
+        lpn: Lpn,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.check_lpn(lpn)?;
+        let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
+        let die = self.channels[ppa.die.channel as usize].die_mut(ppa.die.index);
+        let (win, data) = die.read_page(ppa.page, at)?;
+        self.trace_op(OpKind::Read, Some(lpn), ppa.die, win);
+        self.stats.ndp_reads.incr();
+        Ok((win, data))
+    }
+
+    /// **In-storage read, to the controller.** Array read plus the channel
+    /// bus transfer — what a channel-level engine pays per operand page.
+    pub fn internal_read_channel(
+        &mut self,
+        lpn: Lpn,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.check_lpn(lpn)?;
+        let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
+        let (win, data) = self.channels[ppa.die.channel as usize]
+            .read_to_controller(ppa.die.index, ppa.page, at)?;
+        self.trace_op(OpKind::Read, Some(lpn), ppa.die, win);
+        self.stats.ndp_reads.incr();
+        Ok((win, data))
+    }
+
+    /// **In-storage program.** Writes a new version of `lpn` out-of-place.
+    ///
+    /// * `die` — placement for a not-yet-mapped page; a mapped page always
+    ///   stays on its current die (die-local update).
+    /// * `cross_bus` — `true` if the data comes from the controller side
+    ///   (channel-level engine or host), `false` if it originates in the
+    ///   die's own latches (die-level engine: no bus traffic).
+    pub fn internal_program(
+        &mut self,
+        lpn: Lpn,
+        die: Option<DieId>,
+        data: Option<&[u8]>,
+        at: SimTime,
+        cross_bus: bool,
+    ) -> Result<Window, SsdError> {
+        self.check_lpn(lpn)?;
+        self.check_data(data)?;
+        let target = self
+            .ftl
+            .lookup(lpn)
+            .map(|p| p.die)
+            .or(die)
+            .unwrap_or_else(|| self.die_for_lpn(lpn));
+        let win = self.program_internal(lpn, target, data, at, cross_bus)?;
+        self.stats.ndp_programs.incr();
+        Ok(win)
+    }
+
+    /// Shared out-of-place program path (host and NDP): ensure space, pick
+    /// a page, program, commit the mapping, invalidate the stale page.
+    fn program_internal(
+        &mut self,
+        lpn: Lpn,
+        die_id: DieId,
+        data: Option<&[u8]>,
+        at: SimTime,
+        cross_bus: bool,
+    ) -> Result<Window, SsdError> {
+        let die_flat = die_id.flat(self.config.dies_per_channel);
+        self.ensure_space(die_id, at)?;
+        self.maybe_static_wl(die_id, at)?;
+        let wear = self.config.gc.wear_leveling;
+        let channel = &mut self.channels[die_id.channel as usize];
+        let page = self
+            .ftl
+            .allocate_page(die_flat, channel.die(die_id.index), wear)
+            .ok_or(SsdError::OutOfSpace(die_id))?;
+        let win = if cross_bus {
+            channel.program_from_controller(die_id.index, page, data, at)?
+        } else {
+            channel.die_mut(die_id.index).program_page(page, at, data)?
+        };
+        let ppa = Ppa { die: die_id, page };
+        if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
+            invalidate(&mut self.channels, stale);
+        }
+        self.trace_op(OpKind::Program, Some(lpn), die_id, win);
+        Ok(win)
+    }
+
+    /// Runs garbage collection on a die until its free-block pool is back
+    /// above the low watermark.
+    fn ensure_space(&mut self, die_id: DieId, at: SimTime) -> Result<(), SsdError> {
+        let die_flat = die_id.flat(self.config.dies_per_channel);
+        if self.ftl.free_blocks(die_flat) >= self.config.gc.low_watermark as usize {
+            return Ok(());
+        }
+        while self.ftl.free_blocks(die_flat) < self.config.gc.high_watermark as usize {
+            if !self.gc_once(die_id, at)? {
+                // No reclaimable block. Fatal only if allocation is truly
+                // impossible: no free blocks and no programmable page in
+                // any active block.
+                let any_programmable = self.ftl.active_blocks(die_flat).iter().any(|b| {
+                    self.die(die_id)
+                        .block(*b)
+                        .ok()
+                        .and_then(|s| s.next_programmable())
+                        .is_some()
+                });
+                if self.ftl.free_blocks(die_flat) == 0 && !any_programmable {
+                    return Err(SsdError::OutOfSpace(die_id));
+                }
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// One GC pass on a die: pick the fullest-of-invalid victim, relocate
+    /// its valid pages die-locally (copyback — no bus traffic), erase it.
+    /// Returns `false` if no block was worth collecting.
+    fn gc_once(&mut self, die_id: DieId, at: SimTime) -> Result<bool, SsdError> {
+        let die_flat = die_id.flat(self.config.dies_per_channel);
+        let geo = self.config.nand.geometry;
+        let actives = self.ftl.active_blocks(die_flat);
+
+        // Victim: a full block with the fewest valid pages and ≥1 invalid.
+        let victim = {
+            let die = self.die(die_id);
+            die.iter_blocks()
+                .filter_map(|(flat, b)| {
+                    let addr = geo.block_at(flat);
+                    if actives.contains(&addr) || b.is_retired() {
+                        return None;
+                    }
+                    if b.next_programmable().is_some() {
+                        return None; // not full yet
+                    }
+                    if b.valid_pages() == geo.pages_per_block {
+                        return None; // nothing reclaimable
+                    }
+                    Some((b.valid_pages(), flat, addr))
+                })
+                .min_by_key(|&(valid, flat, _)| (valid, flat))
+        };
+        let Some((_, _, victim_addr)) = victim else {
+            return Ok(false);
+        };
+        self.relocate_and_erase(die_id, victim_addr, at)?;
+        Ok(true)
+    }
+
+    /// Relocates every valid page of `victim` die-locally (copyback) and
+    /// erases it, returning the block to the free pool.
+    fn relocate_and_erase(
+        &mut self,
+        die_id: DieId,
+        victim_addr: nandsim::BlockAddr,
+        at: SimTime,
+    ) -> Result<(), SsdError> {
+        let die_flat = die_id.flat(self.config.dies_per_channel);
+        let geo = self.config.nand.geometry;
+        for page_idx in 0..geo.pages_per_block {
+            let src = victim_addr.page(page_idx);
+            let is_valid = {
+                let die = self.die(die_id);
+                die.block(victim_addr)?.page_state(page_idx)
+                    == nandsim::store::PageState::Valid
+            };
+            if !is_valid {
+                continue;
+            }
+            let src_ppa = Ppa { die: die_id, page: src };
+            let owner = self
+                .ftl
+                .owner_of(src_ppa, self.die(die_id))
+                .expect("valid page must have an owner");
+            let wear = self.config.gc.wear_leveling;
+            let channel = &mut self.channels[die_id.channel as usize];
+            let (read_win, data) = channel.die_mut(die_id.index).read_page(src, at)?;
+            let dest = self
+                .ftl
+                .allocate_page(die_flat, channel.die(die_id.index), wear)
+                .ok_or(SsdError::OutOfSpace(die_id))?;
+            channel
+                .die_mut(die_id.index)
+                .program_page(dest, read_win.end, data.as_deref())?;
+            let dest_ppa = Ppa { die: die_id, page: dest };
+            if let Some(stale) = self.ftl.commit_program(owner, dest_ppa) {
+                invalidate(&mut self.channels, stale);
+            }
+            self.stats.gc_copies.incr();
+        }
+
+        let channel = &mut self.channels[die_id.channel as usize];
+        let erase_win = channel.die_mut(die_id.index).erase_block(victim_addr, at)?;
+        self.trace_op(OpKind::Erase, None, die_id, erase_win);
+        self.ftl.reclaim_block(
+            die_flat,
+            victim_addr,
+            self.channels[die_id.channel as usize].die(die_id.index),
+        );
+        self.stats.erases.incr();
+        self.per_die_erases[die_flat as usize] += 1;
+        Ok(())
+    }
+
+    /// Static wear levelling: if the erase-count spread within a die
+    /// exceeds the configured threshold, migrate the coldest *data* block
+    /// (lowest erase count among full blocks holding valid pages) so its
+    /// low-wear cells rejoin the free pool. Dynamic allocation alone can
+    /// never recycle a block whose data is simply never rewritten.
+    fn maybe_static_wl(&mut self, die_id: DieId, at: SimTime) -> Result<(), SsdError> {
+        let Some(threshold) = self.config.gc.static_wl_threshold else {
+            return Ok(());
+        };
+        let die_flat = die_id.flat(self.config.dies_per_channel) as usize;
+        // Cheap cadence gate: scan at most once every few erases.
+        if self.per_die_erases[die_flat] < self.wl_marks[die_flat] + 4 {
+            return Ok(());
+        }
+        self.wl_marks[die_flat] = self.per_die_erases[die_flat];
+
+        let geo = self.config.nand.geometry;
+        let actives = self.ftl.active_blocks(die_flat as u32);
+        let (mut max_erase, mut cold): (u64, Option<(u64, nandsim::BlockAddr)>) = (0, None);
+        {
+            let die = self.die(die_id);
+            for (flat, b) in die.iter_blocks() {
+                max_erase = max_erase.max(b.erase_count());
+                let addr = geo.block_at(flat);
+                if actives.contains(&addr)
+                    || b.is_retired()
+                    || b.next_programmable().is_some()
+                    || b.valid_pages() == 0
+                {
+                    continue;
+                }
+                if cold.map(|(e, _)| b.erase_count() < e).unwrap_or(true) {
+                    cold = Some((b.erase_count(), addr));
+                }
+            }
+        }
+        if let Some((erases, addr)) = cold {
+            if max_erase.saturating_sub(erases) > threshold {
+                self.relocate_and_erase(die_id, addr, at)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ages every block on every die by `pe` artificial P/E cycles
+    /// (end-of-life experiments: worn cells make reads slower via
+    /// read-retries). Does not retire blocks or touch data.
+    pub fn simulate_wear(&mut self, pe: u64) {
+        for ch in &mut self.channels {
+            for i in 0..ch.dies().len() as u32 {
+                ch.die_mut(i).simulate_wear(pe);
+            }
+        }
+    }
+
+    /// Enables operation tracing with the given ring-buffer capacity
+    /// (replacing any existing trace).
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = Some(TraceLog::new(capacity));
+    }
+
+    /// The retained trace events, if tracing is enabled.
+    pub fn trace_events(&self) -> Option<Vec<TraceEvent>> {
+        self.trace.as_ref().map(TraceLog::events)
+    }
+
+    fn trace_op(&mut self, kind: OpKind, lpn: Option<Lpn>, die: DieId, win: Window) {
+        if let Some(t) = &mut self.trace {
+            t.record(TraceEvent {
+                kind,
+                lpn,
+                die_flat: die.flat(self.config.dies_per_channel),
+                start: win.start,
+                end: win.end,
+            });
+        }
+    }
+
+    /// Utilization of every shared resource over `[0, horizon)`.
+    pub fn utilization(&self, horizon: SimTime) -> crate::stats::UtilizationReport {
+        let dies = self
+            .channels
+            .iter()
+            .flat_map(|c| c.dies().iter())
+            .map(|d| {
+                let planes = d.config().geometry.planes;
+                // Mean plane busy fraction: total busy over planes*horizon.
+                let busy: f64 = (0..planes)
+                    .map(|p| d.plane_busy_total(p).as_secs_f64())
+                    .sum();
+                if horizon == SimTime::ZERO {
+                    0.0
+                } else {
+                    (busy / (planes as f64 * horizon.as_secs_f64())).min(1.0)
+                }
+            })
+            .collect();
+        crate::stats::UtilizationReport {
+            horizon,
+            pcie_in: self.pcie_in.utilization(horizon),
+            pcie_out: self.pcie_out.utilization(horizon),
+            dram: self.dram.utilization(horizon),
+            buses: self.channels.iter().map(|c| c.bus().utilization(horizon)).collect(),
+            dies,
+        }
+    }
+
+    /// Iterates erase counts of every block in the device (wear analysis).
+    pub fn erase_counts(&self) -> impl Iterator<Item = u64> + '_ {
+        self.channels
+            .iter()
+            .flat_map(|c| c.dies().iter())
+            .flat_map(|d| d.iter_blocks().map(|(_, b)| b.erase_count()))
+    }
+
+    /// Sum of all block erase counts.
+    pub fn total_erases(&self) -> u64 {
+        self.erase_counts().sum()
+    }
+
+    /// The latest instant at which any resource in the device is busy —
+    /// i.e. when the device fully drains if no more work arrives.
+    pub fn quiesce_time(&self) -> SimTime {
+        let mut t = self
+            .pcie_in
+            .free_at()
+            .max(self.pcie_out.free_at())
+            .max(self.dram.free_at());
+        for ch in &self.channels {
+            t = t.max(ch.bus().free_at());
+            for d in ch.dies() {
+                for plane in 0..d.config().geometry.planes {
+                    t = t.max(d.plane_free_at(plane));
+                }
+            }
+        }
+        t
+    }
+}
+
+/// Marks a stale physical page invalid on its die.
+fn invalidate(channels: &mut [Channel], stale: Ppa) {
+    let die = channels[stale.die.channel as usize].die_mut(stale.die.index);
+    if let Ok(block) = die.block_mut(stale.page.block_addr()) {
+        block.invalidate(stale.page.page);
+    }
+}
+
+/// `Ftl::new` sizes its allocators from die geometry; give it throwaway
+/// dies built from the same config (cheap: no data, just block tables).
+fn make_ftl_seed_dies(config: &SsdConfig) -> Vec<Die> {
+    (0..config.total_dies())
+        .map(|i| Die::new(i, config.nand))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(dev: &Device, fill: u8) -> Vec<u8> {
+        vec![fill; dev.page_bytes()]
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let data = page(&dev, 0x42);
+        let w = dev.host_write_page(Lpn(5), Some(&data), SimTime::ZERO).unwrap();
+        let (r, out) = dev.host_read_page(Lpn(5), w.end).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &data[..]);
+        assert!(r.end > w.end);
+        assert_eq!(dev.stats().host_writes.get(), 1);
+        assert_eq!(dev.stats().host_reads.get(), 1);
+    }
+
+    #[test]
+    fn overwrite_supersedes_old_version() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let a = page(&dev, 1);
+        let b = page(&dev, 2);
+        dev.host_write_page(Lpn(0), Some(&a), SimTime::ZERO).unwrap();
+        let first_ppa = dev.ftl().lookup(Lpn(0)).unwrap();
+        dev.host_write_page(Lpn(0), Some(&b), SimTime::ZERO).unwrap();
+        let second_ppa = dev.ftl().lookup(Lpn(0)).unwrap();
+        assert_ne!(first_ppa, second_ppa, "out-of-place write");
+        assert_eq!(second_ppa.die, first_ppa.die, "update stays die-local");
+        let (_, out) = dev.host_read_page(Lpn(0), SimTime::from_secs(1)).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &b[..]);
+    }
+
+    #[test]
+    fn unmapped_read_fails() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        assert!(matches!(
+            dev.host_read_page(Lpn(3), SimTime::ZERO),
+            Err(SsdError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn lpn_out_of_range_rejected() {
+        let mut dev = Device::new(SsdConfig::tiny());
+        let cap = dev.logical_pages();
+        assert!(matches!(
+            dev.host_write_page(Lpn(cap), None, SimTime::ZERO),
+            Err(SsdError::LpnOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_page_size_rejected() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let short = vec![0u8; 7];
+        assert!(matches!(
+            dev.host_write_page(Lpn(0), Some(&short), SimTime::ZERO),
+            Err(SsdError::WrongLength { got: 7, .. })
+        ));
+        // Functional devices require data.
+        assert!(dev.host_write_page(Lpn(0), None, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn lpns_stripe_across_dies() {
+        let dev = Device::new(SsdConfig::tiny());
+        let total = dev.config().total_dies() as u64;
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..total {
+            seen.insert(dev.die_for_lpn(Lpn(i)));
+        }
+        assert_eq!(seen.len() as u64, total);
+        assert_eq!(dev.die_for_lpn(Lpn(0)), dev.die_for_lpn(Lpn(total)));
+    }
+
+    #[test]
+    fn internal_ops_bypass_pcie() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let data = page(&dev, 9);
+        dev.host_write_page(Lpn(1), Some(&data), SimTime::ZERO).unwrap();
+        let pcie_busy_before = dev.stats().pcie_in_busy + dev.stats().pcie_out_busy;
+
+        let (_, out) = dev.internal_read_array(Lpn(1), SimTime::from_secs(1)).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &data[..]);
+        let new = page(&dev, 10);
+        dev.internal_program(Lpn(1), None, Some(&new), SimTime::from_secs(2), false)
+            .unwrap();
+        let pcie_busy_after = dev.stats().pcie_in_busy + dev.stats().pcie_out_busy;
+        assert_eq!(pcie_busy_before, pcie_busy_after, "NDP path must not touch PCIe");
+        assert_eq!(dev.stats().ndp_reads.get(), 1);
+        assert_eq!(dev.stats().ndp_programs.get(), 1);
+
+        let (_, out) = dev.host_read_page(Lpn(1), SimTime::from_secs(3)).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &new[..]);
+    }
+
+    #[test]
+    fn die_local_program_skips_the_bus() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let data = page(&dev, 1);
+        dev.host_write_page(Lpn(2), Some(&data), SimTime::ZERO).unwrap();
+        let die = dev.ftl().lookup(Lpn(2)).unwrap().die;
+        let bus_bytes_before = dev.channels()[die.channel as usize].bus().bytes_moved();
+        dev.internal_program(Lpn(2), None, Some(&data), SimTime::from_secs(1), false)
+            .unwrap();
+        let bus_bytes_after = dev.channels()[die.channel as usize].bus().bytes_moved();
+        assert_eq!(bus_bytes_before, bus_bytes_after);
+        // Channel-side program does cross the bus.
+        dev.internal_program(Lpn(2), None, Some(&data), SimTime::from_secs(2), true)
+            .unwrap();
+        assert!(dev.channels()[die.channel as usize].bus().bytes_moved() > bus_bytes_after);
+    }
+
+    #[test]
+    fn sustained_overwrites_trigger_gc_and_waf_above_one() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        // Keep rewriting a working set that exceeds what fits without
+        // reclaiming: the tiny device has 25% OP, so rewriting ~60% of
+        // logical space several times forces GC.
+        let lpns = (dev.logical_pages() * 3) / 5;
+        let data = page(&dev, 0xCC);
+        let mut t = SimTime::ZERO;
+        for round in 0..6 {
+            for i in 0..lpns {
+                let _ = round;
+                dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
+                t = t + simkit::SimDuration::from_us(1);
+            }
+        }
+        assert!(dev.stats().erases.get() > 0, "GC must have run");
+        assert!(dev.stats().waf() >= 1.0);
+        assert!(dev.total_erases() > 0);
+        // Data integrity after GC.
+        let (_, out) = dev.host_read_page(Lpn(0), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &data[..]);
+    }
+
+    #[test]
+    fn trim_invalidates_and_unmaps() {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let data = page(&dev, 3);
+        dev.host_write_page(Lpn(9), Some(&data), SimTime::ZERO).unwrap();
+        dev.trim(Lpn(9)).unwrap();
+        assert!(dev.ftl().lookup(Lpn(9)).is_none());
+        assert!(matches!(
+            dev.host_read_page(Lpn(9), SimTime::ZERO),
+            Err(SsdError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn phantom_device_times_without_data() {
+        let mut dev = Device::new(SsdConfig::tiny());
+        let w = dev.host_write_page(Lpn(0), None, SimTime::ZERO).unwrap();
+        let (r, data) = dev.host_read_page(Lpn(0), w.end).unwrap();
+        assert_eq!(data, None);
+        assert!(r.end > w.end);
+    }
+
+    #[test]
+    fn timing_is_deterministic() {
+        let run = || {
+            let mut dev = Device::new(SsdConfig::tiny());
+            let mut t = SimTime::ZERO;
+            for i in 0..200u64 {
+                let w = dev
+                    .host_write_page(Lpn(i % 50), None, t)
+                    .unwrap();
+                t = w.end;
+            }
+            t
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quiesce_time_tracks_latest_resource() {
+        let mut dev = Device::new(SsdConfig::tiny());
+        assert_eq!(dev.quiesce_time(), SimTime::ZERO);
+        let w = dev.host_write_page(Lpn(0), None, SimTime::ZERO).unwrap();
+        assert!(dev.quiesce_time() >= w.end);
+    }
+
+    #[test]
+    fn parallel_writes_to_different_dies_overlap() {
+        let mut dev = Device::new(SsdConfig::tiny());
+        // LPNs 0..4 stripe across the 4 dies: issuing all at t=0 should
+        // finish in barely more than one program time (PCIe+bus pipeline),
+        // not four serial programs.
+        let mut last = SimTime::ZERO;
+        for i in 0..4u64 {
+            let w = dev.host_write_page(Lpn(i), None, SimTime::ZERO).unwrap();
+            last = last.max(w.end);
+        }
+        let t_prog = dev.config().nand.timing.t_program;
+        assert!(
+            last < SimTime::ZERO + t_prog * 2,
+            "four die-parallel writes took {last}"
+        );
+    }
+
+    #[test]
+    fn tracing_records_the_operation_mix() {
+        use crate::trace::{gantt, peak_concurrency, OpKind};
+        let mut dev = Device::new(SsdConfig::tiny());
+        dev.enable_trace(1024);
+        for i in 0..8u64 {
+            dev.host_write_page(Lpn(i), None, SimTime::ZERO).unwrap();
+        }
+        dev.host_read_page(Lpn(0), SimTime::from_secs(1)).unwrap();
+        let events = dev.trace_events().unwrap();
+        let programs = events.iter().filter(|e| e.kind == OpKind::Program).count();
+        let reads = events.iter().filter(|e| e.kind == OpKind::Read).count();
+        assert_eq!(programs, 8);
+        assert_eq!(reads, 1);
+        assert!(events.iter().all(|e| e.end > e.start));
+        // Two writes landed on each of the 4 dies; with 2 planes each they
+        // overlap.
+        assert!(peak_concurrency(&events, 0) >= 1);
+        let g = gantt(&events, simkit::SimDuration::from_us(50), 60);
+        assert!(g.lines().count() == 4, "{g}");
+        // Untraced devices return None.
+        let dev2 = Device::new(SsdConfig::tiny());
+        assert!(dev2.trace_events().is_none());
+    }
+
+    #[test]
+    fn static_wear_leveling_recycles_cold_blocks() {
+        let run = |threshold: Option<u64>| {
+            let mut cfg = SsdConfig::tiny();
+            cfg.gc.static_wl_threshold = threshold;
+            let mut dev = Device::new(cfg);
+            let pages = dev.logical_pages();
+            // Cold data fills most of the device once; a small hot set is
+            // rewritten continuously.
+            for i in 0..pages {
+                dev.host_write_page(Lpn(i), None, SimTime::ZERO).unwrap();
+            }
+            for _ in 0..80 {
+                for i in 0..pages / 10 {
+                    dev.host_write_page(Lpn(i), None, SimTime::ZERO).unwrap();
+                }
+            }
+            crate::stats::wear_imbalance(dev.erase_counts())
+        };
+        let without = run(None);
+        let with = run(Some(3));
+        assert!(
+            with < without * 0.8,
+            "static WL must level wear: {with:.2} vs {without:.2}"
+        );
+    }
+}

@@ -1,0 +1,88 @@
+//! Device-level error type.
+
+use crate::address::{DieId, Lpn};
+use nandsim::NandError;
+use std::error::Error;
+use std::fmt;
+
+/// An error from the device or its FTL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SsdError {
+    /// Logical page number beyond the host-visible capacity.
+    LpnOutOfRange {
+        /// The offending LPN.
+        lpn: Lpn,
+        /// Host-visible capacity in pages.
+        capacity: u64,
+    },
+    /// Read of a logical page that has never been written.
+    Unmapped(Lpn),
+    /// A die ran out of free blocks even after garbage collection — the
+    /// device is out of usable space (or over-provisioning is too small).
+    OutOfSpace(DieId),
+    /// The underlying NAND refused an operation (bug in the FTL or wear-out).
+    Nand(NandError),
+    /// Functional data was required but the device is in phantom mode.
+    PhantomData(Lpn),
+    /// Data length does not match the page size.
+    WrongLength {
+        /// Bytes supplied.
+        got: usize,
+        /// Page size.
+        want: usize,
+    },
+}
+
+impl fmt::Display for SsdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsdError::LpnOutOfRange { lpn, capacity } => {
+                write!(f, "{lpn} out of range (capacity {capacity} pages)")
+            }
+            SsdError::Unmapped(lpn) => write!(f, "read of unmapped {lpn}"),
+            SsdError::OutOfSpace(d) => write!(f, "die {d} has no free blocks after GC"),
+            SsdError::Nand(e) => write!(f, "nand: {e}"),
+            SsdError::PhantomData(lpn) => {
+                write!(f, "functional data requested for {lpn} on a phantom device")
+            }
+            SsdError::WrongLength { got, want } => {
+                write!(f, "page data is {got} bytes, expected {want}")
+            }
+        }
+    }
+}
+
+impl Error for SsdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SsdError::Nand(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NandError> for SsdError {
+    fn from(e: NandError) -> Self {
+        SsdError::Nand(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nandsim::PhysPage;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = SsdError::LpnOutOfRange { lpn: Lpn(9), capacity: 4 };
+        assert!(e.to_string().contains("lpn9"));
+        let nand = SsdError::from(NandError::ReadUnwritten(PhysPage {
+            plane: 0,
+            block: 0,
+            page: 0,
+        }));
+        assert!(nand.to_string().contains("unwritten"));
+        assert!(Error::source(&nand).is_some());
+        assert!(Error::source(&SsdError::Unmapped(Lpn(1))).is_none());
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-die block allocation: one append-only active block **per plane**
+//! (superpage striping) plus per-plane pools of erased blocks, optionally
+//! wear-aware.
+//!
+//! Striping consecutive allocations across planes is what lets a die hit
+//! its multi-plane program bandwidth — without it every write in a stream
+//! would land in one plane's active block and serialize. This is the
+//! standard "superblock" policy of production FTLs.
+
+use nandsim::{BlockAddr, Die, PhysPage};
+
+/// Allocation state for one die.
+#[derive(Debug)]
+pub struct DieAlloc {
+    /// Block currently being filled on each plane.
+    actives: Vec<Option<BlockAddr>>,
+    /// Erased, ready-to-program blocks per plane (block index within the
+    /// plane).
+    free: Vec<Vec<u32>>,
+    /// Round-robin cursor over planes.
+    next_plane: u32,
+}
+
+impl DieAlloc {
+    /// Fresh allocator: every block of the die is erased and free.
+    pub fn new(die: &Die) -> Self {
+        let geo = die.config().geometry;
+        DieAlloc {
+            actives: vec![None; geo.planes as usize],
+            free: (0..geo.planes)
+                .map(|_| (0..geo.blocks_per_plane).collect())
+                .collect(),
+            next_plane: 0,
+        }
+    }
+
+    /// Number of erased blocks available (excluding active blocks).
+    pub fn free_blocks(&self) -> usize {
+        self.free.iter().map(Vec::len).sum()
+    }
+
+    /// The block currently being filled on `plane`.
+    pub fn active_block_on(&self, plane: u32) -> Option<BlockAddr> {
+        self.actives[plane as usize]
+    }
+
+    /// All currently active blocks.
+    pub fn active_blocks(&self) -> impl Iterator<Item = BlockAddr> + '_ {
+        self.actives.iter().filter_map(|a| *a)
+    }
+
+    /// Returns an erased block to its plane's pool (after GC erased it).
+    pub fn push_free(&mut self, block: BlockAddr) {
+        self.free[block.plane as usize].push(block.block);
+    }
+
+    /// Next physical page to program on this die.
+    ///
+    /// Planes are visited round-robin so a write stream stripes across all
+    /// of them. Within a plane, the active block fills sequentially; a new
+    /// block is opened from the plane's pool when it fills (lowest erase
+    /// count first when `wear_leveling`, LIFO otherwise). Falls back to
+    /// other planes when one runs dry; returns `None` only when the whole
+    /// die has no erased block left.
+    pub fn next_page(&mut self, die: &Die, wear_leveling: bool) -> Option<PhysPage> {
+        let planes = self.actives.len() as u32;
+        for attempt in 0..planes {
+            let plane = (self.next_plane + attempt) % planes;
+            if let Some(page) = self.next_page_on_plane(plane, die, wear_leveling) {
+                self.next_plane = (plane + 1) % planes;
+                return Some(page);
+            }
+        }
+        None
+    }
+
+    fn next_page_on_plane(
+        &mut self,
+        plane: u32,
+        die: &Die,
+        wear_leveling: bool,
+    ) -> Option<PhysPage> {
+        if let Some(active) = self.actives[plane as usize] {
+            if let Ok(block) = die.block(active) {
+                if let Some(page) = block.next_programmable() {
+                    return Some(active.page(page));
+                }
+            }
+            // Full: the block leaves allocation until GC reclaims it.
+            self.actives[plane as usize] = None;
+        }
+        let pool = &mut self.free[plane as usize];
+        if pool.is_empty() {
+            return None;
+        }
+        let pick = if wear_leveling {
+            // Lowest erase count first; index ties break deterministically.
+            let best = pool
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &b)| {
+                    let addr = BlockAddr { plane, block: b };
+                    let state = die.block(addr).expect("free block exists");
+                    (state.erase_count(), b)
+                })
+                .map(|(i, _)| i)
+                .expect("pool is non-empty");
+            pool.swap_remove(best)
+        } else {
+            pool.pop().expect("pool is non-empty")
+        };
+        let addr = BlockAddr { plane, block: pick };
+        debug_assert!(
+            die.block(addr)
+                .map(|b| b.next_programmable() == Some(0))
+                .unwrap_or(false),
+            "free-pool block must be erased"
+        );
+        self.actives[plane as usize] = Some(addr);
+        Some(addr.page(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nandsim::NandConfig;
+    use simkit::SimTime;
+
+    fn die() -> Die {
+        Die::new(0, NandConfig::tiny_test_die())
+    }
+
+    #[test]
+    fn fresh_allocator_has_all_blocks_free() {
+        let d = die();
+        let a = DieAlloc::new(&d);
+        assert_eq!(a.free_blocks() as u64, d.config().geometry.blocks_per_die());
+        assert_eq!(a.active_blocks().count(), 0);
+    }
+
+    #[test]
+    fn consecutive_allocations_stripe_across_planes() {
+        let mut d = die();
+        let mut a = DieAlloc::new(&d);
+        let planes = d.config().geometry.planes;
+        let mut seen = Vec::new();
+        for _ in 0..planes * 2 {
+            let p = a.next_page(&d, true).unwrap();
+            d.program_page(p, SimTime::ZERO, None).unwrap();
+            seen.push(p.plane);
+        }
+        // First `planes` allocations hit every plane once, then repeat.
+        let first: Vec<u32> = seen[..planes as usize].to_vec();
+        let mut sorted = first.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..planes).collect::<Vec<_>>());
+        assert_eq!(&seen[planes as usize..], &first[..]);
+    }
+
+    #[test]
+    fn within_a_plane_pages_are_sequential() {
+        let mut d = die();
+        let mut a = DieAlloc::new(&d);
+        let planes = d.config().geometry.planes;
+        let ppb = d.config().geometry.pages_per_block;
+        // Allocate planes × ppb pages: each plane's block fills fully and
+        // sequentially.
+        let mut per_plane_pages: Vec<Vec<u32>> = vec![Vec::new(); planes as usize];
+        for _ in 0..planes * ppb {
+            let p = a.next_page(&d, true).unwrap();
+            d.program_page(p, SimTime::ZERO, None).unwrap();
+            per_plane_pages[p.plane as usize].push(p.page);
+        }
+        for pages in per_plane_pages {
+            assert_eq!(pages, (0..ppb).collect::<Vec<_>>());
+        }
+        // Next allocation opens fresh blocks.
+        let p = a.next_page(&d, true).unwrap();
+        assert_eq!(p.page, 0);
+    }
+
+    #[test]
+    fn wear_leveling_prefers_low_erase_blocks() {
+        let mut d = die();
+        // Erase block 0 of every plane five times so they carry wear.
+        for plane in 0..d.config().geometry.planes {
+            for _ in 0..5 {
+                d.erase_block(BlockAddr { plane, block: 0 }, SimTime::ZERO).unwrap();
+            }
+        }
+        let mut a = DieAlloc::new(&d);
+        for _ in 0..d.config().geometry.planes {
+            let p = a.next_page(&d, true).unwrap();
+            assert_ne!(p.block, 0, "wear levelling must avoid the hot block");
+            d.program_page(p, SimTime::ZERO, None).unwrap();
+        }
+    }
+
+    #[test]
+    fn lifo_policy_reuses_last_freed() {
+        let d = die();
+        let mut a = DieAlloc::new(&d);
+        let last = d.config().geometry.blocks_per_plane - 1;
+        let p = a.next_page(&d, false).unwrap();
+        assert_eq!(p.block, last);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_then_push_free_revives() {
+        let mut d = die();
+        let mut a = DieAlloc::new(&d);
+        while let Some(p) = a.next_page(&d, true) {
+            d.program_page(p, SimTime::ZERO, None).unwrap();
+        }
+        assert_eq!(a.free_blocks(), 0);
+        assert_eq!(a.next_page(&d, true), None);
+        // Reclaim one block: allocation works again on that plane.
+        let b = BlockAddr { plane: 1, block: 3 };
+        d.erase_block(b, SimTime::ZERO).unwrap();
+        a.push_free(b);
+        let p = a.next_page(&d, true).unwrap();
+        assert_eq!(p.block_addr(), b);
+    }
+}

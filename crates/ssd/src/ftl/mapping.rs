@@ -1,0 +1,183 @@
+//! Logical→physical and physical→logical mapping tables.
+//!
+//! The L2P table is chunked and lazily allocated: an 8 TB device has half a
+//! billion logical pages, but an experiment touches only the range holding
+//! its optimizer state, so untouched chunks cost nothing.
+
+use crate::address::{Lpn, Ppa};
+use std::collections::HashMap;
+
+/// Entries per lazily-allocated L2P chunk (64 Ki pages ≈ 512 KiB per chunk).
+const CHUNK: usize = 1 << 16;
+
+/// The logical→physical page map.
+#[derive(Debug)]
+pub struct L2pTable {
+    chunks: Vec<Option<Box<[u64; CHUNK]>>>,
+    dies_per_channel: u32,
+    mapped: u64,
+}
+
+impl L2pTable {
+    /// Creates a table covering `logical_pages` pages.
+    pub fn new(logical_pages: u64, dies_per_channel: u32) -> Self {
+        let n_chunks = (logical_pages as usize).div_ceil(CHUNK);
+        L2pTable {
+            chunks: (0..n_chunks).map(|_| None).collect(),
+            dies_per_channel,
+            mapped: 0,
+        }
+    }
+
+    /// Current mapping of `lpn`, if any.
+    pub fn get(&self, lpn: Lpn) -> Option<Ppa> {
+        let idx = lpn.0 as usize;
+        let chunk = self.chunks.get(idx / CHUNK)?.as_ref()?;
+        Ppa::unpack(chunk[idx % CHUNK], self.dies_per_channel)
+    }
+
+    /// Sets the mapping of `lpn`, returning the previous one (now stale).
+    pub fn set(&mut self, lpn: Lpn, ppa: Ppa) -> Option<Ppa> {
+        let idx = lpn.0 as usize;
+        let slot = &mut self.chunks[idx / CHUNK];
+        let chunk = slot.get_or_insert_with(|| {
+            // Zero means "unmapped" thanks to the presence bit in `pack`.
+            vec![0u64; CHUNK].into_boxed_slice().try_into().unwrap()
+        });
+        let old = Ppa::unpack(chunk[idx % CHUNK], self.dies_per_channel);
+        chunk[idx % CHUNK] = ppa.pack(self.dies_per_channel);
+        if old.is_none() {
+            self.mapped += 1;
+        }
+        old
+    }
+
+    /// Clears the mapping of `lpn` (trim), returning the previous one.
+    pub fn clear(&mut self, lpn: Lpn) -> Option<Ppa> {
+        let idx = lpn.0 as usize;
+        let chunk = self.chunks.get_mut(idx / CHUNK)?.as_mut()?;
+        let old = Ppa::unpack(chunk[idx % CHUNK], self.dies_per_channel);
+        chunk[idx % CHUNK] = 0;
+        if old.is_some() {
+            self.mapped -= 1;
+        }
+        old
+    }
+
+    /// Number of currently mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.mapped
+    }
+
+    /// Capacity in logical pages.
+    pub fn capacity(&self) -> u64 {
+        (self.chunks.len() * CHUNK) as u64
+    }
+}
+
+/// The physical→logical reverse map, kept per block so garbage collection
+/// can find the owner of each valid page. Block entries are dropped on
+/// erase, bounding memory to blocks actually in use.
+#[derive(Debug, Default)]
+pub struct ReverseMap {
+    /// `(die_flat, block_flat)` → per-page `lpn + 1` (0 = none).
+    blocks: HashMap<(u32, u64), Vec<u64>>,
+    pages_per_block: usize,
+}
+
+impl ReverseMap {
+    /// Creates a reverse map for blocks of `pages_per_block` pages.
+    pub fn new(pages_per_block: u32) -> Self {
+        ReverseMap {
+            blocks: HashMap::new(),
+            pages_per_block: pages_per_block as usize,
+        }
+    }
+
+    /// Records that physical page `(die_flat, block_flat, page)` now holds
+    /// `lpn`.
+    pub fn set(&mut self, die_flat: u32, block_flat: u64, page: u32, lpn: Lpn) {
+        let entry = self
+            .blocks
+            .entry((die_flat, block_flat))
+            .or_insert_with(|| vec![0; self.pages_per_block]);
+        entry[page as usize] = lpn.0 + 1;
+    }
+
+    /// The logical owner of a physical page, if recorded.
+    pub fn get(&self, die_flat: u32, block_flat: u64, page: u32) -> Option<Lpn> {
+        let entry = self.blocks.get(&(die_flat, block_flat))?;
+        let v = entry[page as usize];
+        (v != 0).then(|| Lpn(v - 1))
+    }
+
+    /// Forgets a whole block (after erase).
+    pub fn clear_block(&mut self, die_flat: u32, block_flat: u64) {
+        self.blocks.remove(&(die_flat, block_flat));
+    }
+
+    /// Number of blocks currently tracked.
+    pub fn tracked_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::DieId;
+    use nandsim::PhysPage;
+
+    fn ppa(ch: u32, die: u32, block: u32, page: u32) -> Ppa {
+        Ppa {
+            die: DieId { channel: ch, index: die },
+            page: PhysPage { plane: 0, block, page },
+        }
+    }
+
+    #[test]
+    fn l2p_set_get_clear() {
+        let mut t = L2pTable::new(1 << 20, 4);
+        assert_eq!(t.get(Lpn(12345)), None);
+        assert_eq!(t.set(Lpn(12345), ppa(1, 2, 3, 4)), None);
+        assert_eq!(t.get(Lpn(12345)), Some(ppa(1, 2, 3, 4)));
+        assert_eq!(t.mapped_pages(), 1);
+        // Overwrite returns the stale mapping.
+        assert_eq!(t.set(Lpn(12345), ppa(0, 0, 9, 9)), Some(ppa(1, 2, 3, 4)));
+        assert_eq!(t.mapped_pages(), 1);
+        assert_eq!(t.clear(Lpn(12345)), Some(ppa(0, 0, 9, 9)));
+        assert_eq!(t.get(Lpn(12345)), None);
+        assert_eq!(t.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn l2p_chunks_allocate_lazily() {
+        let mut t = L2pTable::new(1 << 24, 4);
+        let before = t.chunks.iter().filter(|c| c.is_some()).count();
+        assert_eq!(before, 0);
+        t.set(Lpn(0), ppa(0, 0, 0, 0));
+        t.set(Lpn((1 << 24) - 1), ppa(0, 0, 0, 1));
+        let after = t.chunks.iter().filter(|c| c.is_some()).count();
+        assert_eq!(after, 2, "only touched chunks materialize");
+    }
+
+    #[test]
+    fn l2p_capacity() {
+        let t = L2pTable::new(100, 4);
+        assert!(t.capacity() >= 100);
+    }
+
+    #[test]
+    fn reverse_map_round_trips() {
+        let mut r = ReverseMap::new(64);
+        assert_eq!(r.get(3, 7, 5), None);
+        r.set(3, 7, 5, Lpn(0)); // lpn 0 must be representable
+        r.set(3, 7, 6, Lpn(99));
+        assert_eq!(r.get(3, 7, 5), Some(Lpn(0)));
+        assert_eq!(r.get(3, 7, 6), Some(Lpn(99)));
+        assert_eq!(r.tracked_blocks(), 1);
+        r.clear_block(3, 7);
+        assert_eq!(r.get(3, 7, 5), None);
+        assert_eq!(r.tracked_blocks(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! The flash translation layer: mapping tables, block allocation, and the
+//! bookkeeping shared by the host path, garbage collection, and the
+//! in-storage update path.
+//!
+//! The FTL here is page-mapped with out-of-place writes — the scheme any
+//! modern NVMe SSD uses — because OptimStore's full-state-rewrite-per-step
+//! workload makes mapping and GC behaviour part of the result (write
+//! amplification and wear are evaluated in the endurance experiment).
+//!
+//! The `Ftl` struct is pure bookkeeping: it owns no dies and performs no
+//! timing. [`crate::Device`] drives it, passing in die references, so the
+//! borrow structure stays simple and the FTL logic stays unit-testable.
+
+mod allocator;
+mod mapping;
+
+pub use allocator::DieAlloc;
+pub use mapping::{L2pTable, ReverseMap};
+
+use crate::address::{Lpn, Ppa};
+use crate::config::SsdConfig;
+use nandsim::Die;
+
+/// FTL bookkeeping for a whole device.
+#[derive(Debug)]
+pub struct Ftl {
+    l2p: L2pTable,
+    rmap: ReverseMap,
+    alloc: Vec<DieAlloc>,
+    dies_per_channel: u32,
+}
+
+impl Ftl {
+    /// Creates the FTL for `config`, with every block of every die free.
+    pub fn new(config: &SsdConfig, dies: &[Die]) -> Self {
+        Ftl {
+            l2p: L2pTable::new(config.logical_pages(), config.dies_per_channel),
+            rmap: ReverseMap::new(config.nand.geometry.pages_per_block),
+            alloc: dies.iter().map(DieAlloc::new).collect(),
+            dies_per_channel: config.dies_per_channel,
+        }
+    }
+
+    /// Current mapping of `lpn`.
+    pub fn lookup(&self, lpn: Lpn) -> Option<Ppa> {
+        self.l2p.get(lpn)
+    }
+
+    /// Number of mapped logical pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.l2p.mapped_pages()
+    }
+
+    /// Erased blocks available on a die.
+    pub fn free_blocks(&self, die_flat: u32) -> usize {
+        self.alloc[die_flat as usize].free_blocks()
+    }
+
+    /// The blocks a die is currently filling (one per plane at most).
+    pub fn active_blocks(&self, die_flat: u32) -> Vec<nandsim::BlockAddr> {
+        self.alloc[die_flat as usize].active_blocks().collect()
+    }
+
+    /// Picks the next physical page to program on `die`, honouring the
+    /// wear-levelling policy. Pure allocation — the caller programs it.
+    pub fn allocate_page(
+        &mut self,
+        die_flat: u32,
+        die: &Die,
+        wear_leveling: bool,
+    ) -> Option<nandsim::PhysPage> {
+        self.alloc[die_flat as usize].next_page(die, wear_leveling)
+    }
+
+    /// Commits a completed program: maps `lpn → ppa`, records the reverse
+    /// mapping, and returns the stale previous mapping (whose page the
+    /// caller must invalidate on its die).
+    pub fn commit_program(&mut self, lpn: Lpn, ppa: Ppa) -> Option<Ppa> {
+        let die_flat = ppa.die.flat(self.dies_per_channel);
+        self.rmap
+            .set(die_flat, rmap_key(ppa.page.block_addr()), ppa.page.page, lpn);
+        self.l2p.set(lpn, ppa)
+    }
+
+    /// The logical owner of a physical page (GC uses this to relocate
+    /// valid pages).
+    pub fn owner_of(&self, ppa: Ppa, die: &Die) -> Option<Lpn> {
+        let _ = die;
+        let die_flat = ppa.die.flat(self.dies_per_channel);
+        self.rmap
+            .get(die_flat, rmap_key(ppa.page.block_addr()), ppa.page.page)
+    }
+
+    /// Forgets a block's reverse mappings and returns it to the free pool
+    /// (after the caller erased it).
+    pub fn reclaim_block(&mut self, die_flat: u32, block: nandsim::BlockAddr, die: &Die) {
+        let _ = die;
+        self.rmap.clear_block(die_flat, rmap_key(block));
+        self.alloc[die_flat as usize].push_free(block);
+    }
+
+    /// Unmaps `lpn` (trim), returning the stale mapping.
+    pub fn trim(&mut self, lpn: Lpn) -> Option<Ppa> {
+        self.l2p.clear(lpn)
+    }
+
+    /// Dies-per-channel used for PPA packing (needed by callers converting
+    /// flat die indices).
+    pub fn dies_per_channel(&self) -> u32 {
+        self.dies_per_channel
+    }
+}
+
+/// Reverse-map key for a block: `(plane, block)` folded into one `u64`.
+/// Unique within a die and independent of geometry, so the FTL never needs
+/// a die reference just to address its own bookkeeping.
+pub fn rmap_key(block: nandsim::BlockAddr) -> u64 {
+    ((block.plane as u64) << 32) | block.block as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::DieId;
+    use nandsim::{NandConfig, PhysPage};
+    use simkit::SimTime;
+
+    fn setup() -> (SsdConfig, Vec<Die>, Ftl) {
+        let cfg = SsdConfig::tiny();
+        let dies: Vec<Die> = (0..cfg.total_dies())
+            .map(|i| Die::new(i, cfg.nand))
+            .collect();
+        let ftl = Ftl::new(&cfg, &dies);
+        (cfg, dies, ftl)
+    }
+
+    #[test]
+    fn allocate_program_commit_lookup() {
+        let (_cfg, mut dies, mut ftl) = setup();
+        let die_flat = 3u32;
+        let page = ftl.allocate_page(die_flat, &dies[3], true).unwrap();
+        dies[3].program_page(page, SimTime::ZERO, None).unwrap();
+        let ppa = Ppa {
+            die: DieId::from_flat(die_flat, ftl.dies_per_channel()),
+            page,
+        };
+        assert_eq!(ftl.commit_program(Lpn(42), ppa), None);
+        assert_eq!(ftl.lookup(Lpn(42)), Some(ppa));
+        assert_eq!(ftl.owner_of(ppa, &dies[3]), Some(Lpn(42)));
+        assert_eq!(ftl.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn overwrite_returns_stale_ppa() {
+        let (_cfg, mut dies, mut ftl) = setup();
+        let p1 = ftl.allocate_page(0, &dies[0], true).unwrap();
+        dies[0].program_page(p1, SimTime::ZERO, None).unwrap();
+        let ppa1 = Ppa { die: DieId::from_flat(0, 2), page: p1 };
+        ftl.commit_program(Lpn(7), ppa1);
+
+        let p2 = ftl.allocate_page(0, &dies[0], true).unwrap();
+        dies[0].program_page(p2, SimTime::ZERO, None).unwrap();
+        let ppa2 = Ppa { die: DieId::from_flat(0, 2), page: p2 };
+        let stale = ftl.commit_program(Lpn(7), ppa2);
+        assert_eq!(stale, Some(ppa1));
+        assert_eq!(ftl.lookup(Lpn(7)), Some(ppa2));
+    }
+
+    #[test]
+    fn reclaim_returns_block_to_pool() {
+        let (_cfg, mut dies, mut ftl) = setup();
+        let before = ftl.free_blocks(0);
+        let p = ftl.allocate_page(0, &dies[0], true).unwrap();
+        dies[0].program_page(p, SimTime::ZERO, None).unwrap();
+        assert_eq!(ftl.free_blocks(0), before - 1);
+        dies[0].erase_block(p.block_addr(), SimTime::ZERO).unwrap();
+        ftl.reclaim_block(0, p.block_addr(), &dies[0]);
+        assert_eq!(ftl.free_blocks(0), before);
+    }
+
+    #[test]
+    fn trim_unmaps() {
+        let (_cfg, _dies, mut ftl) = setup();
+        let ppa = Ppa {
+            die: DieId { channel: 0, index: 0 },
+            page: PhysPage { plane: 0, block: 0, page: 0 },
+        };
+        ftl.commit_program(Lpn(1), ppa);
+        assert_eq!(ftl.trim(Lpn(1)), Some(ppa));
+        assert_eq!(ftl.lookup(Lpn(1)), None);
+        assert_eq!(ftl.trim(Lpn(1)), None);
+    }
+
+    #[test]
+    fn allocator_spreads_only_on_requested_die() {
+        let (cfg, dies, mut ftl) = setup();
+        let _ = cfg;
+        let p0 = ftl.allocate_page(0, &dies[0], true).unwrap();
+        let p1 = ftl.allocate_page(1, &dies[1], true).unwrap();
+        // Independent per-die cursors.
+        assert_eq!(p0.page, 0);
+        assert_eq!(p1.page, 0);
+        let _ = NandConfig::tiny_test_die();
+    }
+}

@@ -1,0 +1,60 @@
+//! # ssdsim — a full SSD simulator
+//!
+//! Composes [`nandsim`] dies into a complete NVMe-class device:
+//!
+//! ```text
+//!  host ──PCIe──► controller (DRAM, FTL) ──ONFI ch0──► die, die, …
+//!                                        ──ONFI ch1──► die, die, …
+//!                                        …
+//! ```
+//!
+//! * [`SsdConfig`] — channels × dies, NAND part, PCIe generation,
+//!   controller DRAM, over-provisioning, GC and wear-levelling policy.
+//!   Presets match the reconstructed Table 2.
+//! * [`Device`] — the device itself. Host-side page reads/writes with full
+//!   timing (PCIe → DRAM → channel bus → array), a page-level FTL with
+//!   out-of-place writes, greedy garbage collection, and wear-aware block
+//!   allocation. Exposes *internal* operations (array-only reads, die-local
+//!   programs) that the OptimStore engine uses to bypass the external
+//!   interface — the whole point of in-storage processing.
+//! * [`NvmeQueue`] — a bounded-depth submission/completion queue pair in
+//!   front of the device, for hosts that must obey NVMe queueing
+//!   discipline rather than the raw saturating-stream API.
+//! * [`DeviceStats`] — write amplification, erase histograms, per-link
+//!   utilization; everything the evaluation section reports.
+//!
+//! ## Example
+//!
+//! ```
+//! use ssdsim::{Device, SsdConfig, Lpn};
+//! use simkit::SimTime;
+//!
+//! let mut dev = Device::new_functional(SsdConfig::tiny());
+//! let page = vec![7u8; dev.config().nand.geometry.page_bytes as usize];
+//! let w = dev.host_write_page(Lpn(0), Some(&page), SimTime::ZERO).unwrap();
+//! let (r, data) = dev.host_read_page(Lpn(0), w.end).unwrap();
+//! assert_eq!(data.unwrap().as_ref(), &page[..]);
+//! assert!(r.end > w.end);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod address;
+mod channel;
+mod config;
+mod device;
+mod error;
+mod nvme;
+mod stats;
+
+pub mod ftl;
+pub mod trace;
+
+pub use address::{DieId, Lpn, Ppa};
+pub use channel::Channel;
+pub use config::{GcPolicy, PciGen, SsdConfig};
+pub use device::Device;
+pub use error::SsdError;
+pub use nvme::NvmeQueue;
+pub use stats::{erase_histogram, wear_imbalance, DeviceStats, UtilizationReport};

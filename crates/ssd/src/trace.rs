@@ -1,0 +1,236 @@
+//! Operation tracing: a bounded log of every flash operation the device
+//! executes, for debugging schedules and visualizing concurrency.
+//!
+//! Tracing is off by default (the hot experiments simulate millions of
+//! operations); when enabled, the device records each array operation into
+//! a ring buffer that analysis helpers can turn into per-die concurrency
+//! profiles or a text gantt chart.
+
+use crate::address::Lpn;
+use serde::{Deserialize, Serialize};
+use simkit::{SimDuration, SimTime};
+
+/// What kind of flash operation an event describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Array page read.
+    Read,
+    /// Array page program.
+    Program,
+    /// Block erase.
+    Erase,
+}
+
+impl OpKind {
+    /// One-character glyph for gantt rendering.
+    pub fn glyph(self) -> char {
+        match self {
+            OpKind::Read => 'r',
+            OpKind::Program => 'P',
+            OpKind::Erase => 'E',
+        }
+    }
+}
+
+/// One traced operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Logical page involved (`None` for GC-internal moves and erases).
+    pub lpn: Option<Lpn>,
+    /// Flat die index.
+    pub die_flat: u32,
+    /// Array occupancy start.
+    pub start: SimTime,
+    /// Array occupancy end.
+    pub end: SimTime,
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    next: usize,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Creates a log keeping at most `capacity` events (oldest evicted).
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        TraceLog {
+            events: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event.
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.next] = event;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events in chronological (recording) order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.events.len());
+        out.extend_from_slice(&self.events[self.next..]);
+        out.extend_from_slice(&self.events[..self.next]);
+        out
+    }
+
+    /// Events evicted due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Maximum number of operations in flight at once per die, computed from a
+/// trace slice.
+pub fn peak_concurrency(events: &[TraceEvent], die_flat: u32) -> usize {
+    let mut edges: Vec<(SimTime, i32)> = Vec::new();
+    for e in events.iter().filter(|e| e.die_flat == die_flat) {
+        edges.push((e.start, 1));
+        edges.push((e.end, -1));
+    }
+    edges.sort_by_key(|&(t, d)| (t, d)); // ends (-1) before starts at ties
+    let mut cur = 0i32;
+    let mut peak = 0i32;
+    for (_, d) in edges {
+        cur += d;
+        peak = peak.max(cur);
+    }
+    peak.max(0) as usize
+}
+
+/// Renders a text gantt chart of a trace slice: one row per die, one cell
+/// per `resolution` of simulated time, glyph = the op occupying the cell
+/// (programs win over reads over idle).
+pub fn gantt(events: &[TraceEvent], resolution: SimDuration, max_cols: usize) -> String {
+    if events.is_empty() {
+        return "(no events)\n".into();
+    }
+    let t0 = events.iter().map(|e| e.start).min().unwrap();
+    let dies: Vec<u32> = {
+        let mut d: Vec<u32> = events.iter().map(|e| e.die_flat).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    let res_ns = resolution.as_ns().max(1);
+    let mut out = String::new();
+    for die in dies {
+        let mut row = vec![' '; max_cols];
+        for e in events.iter().filter(|e| e.die_flat == die) {
+            let c0 = ((e.start - t0).as_ns() / res_ns) as usize;
+            let c1 = ((e.end - t0).as_ns().saturating_sub(1) / res_ns) as usize;
+            for cell in row.iter_mut().take(c1.min(max_cols - 1) + 1).skip(c0.min(max_cols - 1)) {
+                let g = e.kind.glyph();
+                // Programs dominate reads dominate idle in a shared cell.
+                if *cell == ' '
+                    || (*cell == 'r' && g != 'r')
+                    || (g == 'E')
+                {
+                    *cell = g;
+                }
+            }
+        }
+        out.push_str(&format!("die{die:<3} |{}|\n", row.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: OpKind, die: u32, start: u64, end: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            lpn: None,
+            die_flat: die,
+            start: SimTime::from_us(start),
+            end: SimTime::from_us(end),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut log = TraceLog::new(3);
+        for i in 0..5u64 {
+            log.record(ev(OpKind::Read, 0, i, i + 1));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let events = log.events();
+        assert_eq!(events[0].start, SimTime::from_us(2));
+        assert_eq!(events[2].start, SimTime::from_us(4));
+    }
+
+    #[test]
+    fn peak_concurrency_counts_overlap() {
+        let events = [
+            ev(OpKind::Read, 0, 0, 10),
+            ev(OpKind::Read, 0, 5, 15),   // overlaps the first
+            ev(OpKind::Program, 0, 20, 30), // disjoint
+            ev(OpKind::Read, 1, 0, 100),  // different die
+        ];
+        assert_eq!(peak_concurrency(&events, 0), 2);
+        assert_eq!(peak_concurrency(&events, 1), 1);
+        assert_eq!(peak_concurrency(&events, 9), 0);
+    }
+
+    #[test]
+    fn back_to_back_ops_do_not_count_as_overlap() {
+        let events = [ev(OpKind::Read, 0, 0, 10), ev(OpKind::Read, 0, 10, 20)];
+        assert_eq!(peak_concurrency(&events, 0), 1);
+    }
+
+    #[test]
+    fn gantt_renders_rows_per_die() {
+        let events = [
+            ev(OpKind::Read, 0, 0, 40),
+            ev(OpKind::Program, 0, 40, 400),
+            ev(OpKind::Read, 2, 0, 40),
+        ];
+        let g = gantt(&events, SimDuration::from_us(40), 12);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("die0"));
+        assert!(lines[0].contains('r') && lines[0].contains('P'));
+        assert!(lines[1].starts_with("die2"));
+        assert!(!lines[1].contains('P'));
+    }
+
+    #[test]
+    fn empty_gantt() {
+        assert_eq!(gantt(&[], SimDuration::from_us(1), 10), "(no events)\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = TraceLog::new(0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # workloads — synthetic training workloads for the experiments
+//!
+//! The paper's experiments need gradients and weights; real training traces
+//! are not available (and the optimizer-step cost is data-independent), so
+//! this crate generates **seeded synthetic tensors** with realistic
+//! magnitudes:
+//!
+//! * [`WeightInit`] — scaled-normal weight initialization (the usual
+//!   `N(0, 0.02)` of transformer checkpoints).
+//! * [`GradientGen`] — per-step gradients, deterministic in
+//!   `(seed, step)`: the same experiment always sees the same bytes, which
+//!   the reproducibility tests rely on.
+//! * [`SlicedRun`] — the measurement methodology for billion-parameter
+//!   models: simulate a device-saturating slice of the step and scale,
+//!   valid because the step is bandwidth-bound and steady-state.
+//! * [`QuadraticTask`] — a real (convex, known-optimum) objective so
+//!   end-to-end tests can verify that in-storage training *optimizes*,
+//!   not merely that its arithmetic matches a reference.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod gradients;
+mod slicing;
+mod task;
+
+pub use gradients::{GradientGen, WeightInit};
+pub use slicing::SlicedRun;
+pub use task::QuadraticTask;

@@ -1,0 +1,118 @@
+//! Slice-and-scale measurement methodology for huge models.
+//!
+//! A 175 B-parameter optimizer step touches half a billion pages; simulating
+//! each one is pointless because the step is **bandwidth-bound and
+//! steady-state**: after a brief pipeline fill, every shared resource is
+//! either saturated or idle at a fixed duty cycle, so time is linear in
+//! parameters. We therefore simulate a *slice* large enough to reach steady
+//! state on every die (thousands of update groups per die) and scale
+//! measured durations by the slice factor. The analytic audit
+//! ([`optimstore_core::audit`]) cross-checks every scaled number.
+
+use serde::{Deserialize, Serialize};
+use simkit::SimDuration;
+
+/// A slice of a large model to simulate, plus the factor to scale results.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SlicedRun {
+    /// Parameters actually simulated.
+    pub sim_params: u64,
+    /// Multiplier from simulated to full-model quantities.
+    pub scale: f64,
+}
+
+impl SlicedRun {
+    /// Plans a slice of at most `cap` parameters for a `params`-parameter
+    /// model, rounded up to a whole number of `granule` parameters
+    /// (use the layout's `params_per_group × dies` so every die gets the
+    /// same share and the tail group doesn't bias the measurement).
+    pub fn plan(params: u64, cap: u64, granule: u64) -> SlicedRun {
+        assert!(granule > 0, "granule must be positive");
+        if params <= cap {
+            return SlicedRun {
+                sim_params: params,
+                scale: 1.0,
+            };
+        }
+        let sim = (cap / granule).max(1) * granule;
+        SlicedRun {
+            sim_params: sim,
+            scale: params as f64 / sim as f64,
+        }
+    }
+
+    /// True if the whole model is simulated.
+    pub fn is_full(&self) -> bool {
+        self.scale == 1.0
+    }
+
+    /// Scales a measured duration up to the full model.
+    pub fn scale_duration(&self, d: SimDuration) -> SimDuration {
+        if self.is_full() {
+            return d;
+        }
+        SimDuration::from_secs_f64(d.as_secs_f64() * self.scale)
+    }
+
+    /// Scales a measured count (bytes, erases, …) up to the full model.
+    pub fn scale_count(&self, n: u64) -> u64 {
+        if self.is_full() {
+            return n;
+        }
+        (n as f64 * self.scale).round() as u64
+    }
+
+    /// Scales an energy (or any f64 quantity) up to the full model.
+    pub fn scale_f64(&self, x: f64) -> f64 {
+        x * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_models_run_in_full() {
+        let s = SlicedRun::plan(1_000_000, 100_000_000, 8192);
+        assert!(s.is_full());
+        assert_eq!(s.sim_params, 1_000_000);
+        let d = SimDuration::from_ms(5);
+        assert_eq!(s.scale_duration(d), d);
+        assert_eq!(s.scale_count(42), 42);
+    }
+
+    #[test]
+    fn large_models_are_sliced_on_granule_boundaries() {
+        let granule = 8192 * 64; // groups × dies
+        let s = SlicedRun::plan(13_000_000_000, 100_000_000, granule);
+        assert!(!s.is_full());
+        assert_eq!(s.sim_params % granule, 0);
+        assert!(s.sim_params <= 100_000_000);
+        let implied = s.sim_params as f64 * s.scale;
+        assert!((implied - 13e9).abs() / 13e9 < 1e-9);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let s = SlicedRun {
+            sim_params: 1000,
+            scale: 4.0,
+        };
+        assert_eq!(s.scale_duration(SimDuration::from_ms(10)), SimDuration::from_ms(40));
+        assert_eq!(s.scale_count(100), 400);
+        assert_eq!(s.scale_f64(2.5), 10.0);
+    }
+
+    #[test]
+    fn tiny_cap_still_yields_one_granule() {
+        let s = SlicedRun::plan(1_000_000_000, 10, 8192);
+        assert_eq!(s.sim_params, 8192);
+    }
+
+    #[test]
+    #[should_panic(expected = "granule")]
+    fn zero_granule_panics() {
+        let _ = SlicedRun::plan(100, 10, 0);
+    }
+}

@@ -1,0 +1,215 @@
+//! Cross-system functional equivalence: every execution path — die-level
+//! NDP, channel-level NDP, the naive striped-layout NDP, the host-NVMe
+//! baseline, the host-DRAM baseline — must produce **bit-identical**
+//! optimizer state, because they all run the same kernels; only time,
+//! traffic and energy may differ. Any divergence is a layout, protocol or
+//! scheduling bug.
+
+use optimstore::baselines::{
+    naive_striped_ndp, HostDramBaseline, HostDramConfig, HostNvmeBaseline, HostNvmeConfig,
+};
+use optimstore::optim_math::kernels::{encode_grads, StateBuffers};
+use optimstore::optim_math::state::{GradDtype, StateLayoutSpec};
+use optimstore::optim_math::{
+    make_optimizer, AdamParams, MomentumParams, OptimizerKind,
+};
+use optimstore::optimstore_core::{OptimStoreConfig, OptimStoreDevice};
+use optimstore::simkit::SimTime;
+use optimstore::ssdsim::SsdConfig;
+use optimstore::workloads::{GradientGen, WeightInit};
+
+const PARAMS: usize = 30_000;
+const STEPS: u64 = 4;
+
+fn spec(kind: OptimizerKind) -> StateLayoutSpec {
+    StateLayoutSpec::new(kind, GradDtype::F16)
+}
+
+fn reference_weights(kind: OptimizerKind, weights: &[f32], gen: &GradientGen) -> Vec<f32> {
+    let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+    let mut buf = StateBuffers::init(opt.as_ref(), weights, GradDtype::F16);
+    for step in 1..=STEPS {
+        let grads = gen.generate(step, weights.len());
+        buf.step(
+            opt.as_ref(),
+            &encode_grads(&grads, GradDtype::F16),
+            GradDtype::F16,
+            step,
+        )
+        .unwrap();
+    }
+    buf.weights_f32()
+}
+
+fn assert_bit_equal(got: &[f32], expect: &[f32], label: &str) {
+    assert_eq!(got.len(), expect.len(), "{label}: length");
+    for (i, (a, b)) in got.iter().zip(expect).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{label}: param {i} differs ({a} vs {b})"
+        );
+    }
+}
+
+fn run_ndp_config(
+    kind: OptimizerKind,
+    cfg: OptimStoreConfig,
+    weights: &[f32],
+    gen: &GradientGen,
+) -> Vec<f32> {
+    let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+    let mut dev = OptimStoreDevice::new_functional(
+        SsdConfig::tiny(),
+        cfg,
+        weights.len() as u64,
+        opt,
+        spec(kind),
+    )
+    .unwrap();
+    let mut at = dev.load_weights(weights, SimTime::ZERO).unwrap();
+    for step in 1..=STEPS {
+        let grads = gen.generate(step, weights.len());
+        at = dev.run_step(Some(&grads), at).unwrap().end;
+    }
+    dev.read_master_weights(at).unwrap()
+}
+
+#[test]
+fn all_tiers_agree_for_every_optimizer() {
+    let weights = WeightInit::default().generate(PARAMS);
+    let gen = GradientGen::new(31337);
+
+    for kind in OptimizerKind::all() {
+        let expect = reference_weights(kind, &weights, &gen);
+
+        // Die-level NDP (the paper's system).
+        let die = run_ndp_config(kind, OptimStoreConfig::die_ndp(), &weights, &gen);
+        assert_bit_equal(&die, &expect, &format!("{kind:?}/die-ndp"));
+
+        // Channel-level NDP.
+        let ch = run_ndp_config(kind, OptimStoreConfig::channel_ndp(), &weights, &gen);
+        assert_bit_equal(&ch, &expect, &format!("{kind:?}/channel-ndp"));
+
+        // Host-NVMe offload baseline.
+        let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+        let mut host = HostNvmeBaseline::new_functional(
+            SsdConfig::tiny(),
+            HostNvmeConfig::default(),
+            PARAMS as u64,
+            opt,
+            spec(kind),
+        )
+        .unwrap();
+        let mut at = host.load_weights(&weights, SimTime::ZERO).unwrap();
+        for step in 1..=STEPS {
+            let grads = gen.generate(step, PARAMS);
+            let t = host.spill_gradients(Some(&grads), at).unwrap();
+            at = host.run_step(t).unwrap().end;
+        }
+        let host_w = host.read_master_weights(at).unwrap();
+        assert_bit_equal(&host_w, &expect, &format!("{kind:?}/host-nvme"));
+
+        // Host-DRAM baseline.
+        let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+        let mut dram =
+            HostDramBaseline::new(HostDramConfig::default(), PARAMS as u64, opt, spec(kind), true)
+                .unwrap();
+        dram.load_weights(&weights).unwrap();
+        let mut at = SimTime::ZERO;
+        for step in 1..=STEPS {
+            let grads = gen.generate(step, PARAMS);
+            at = dram.run_step(Some(&grads), at).unwrap().end;
+        }
+        assert_bit_equal(&dram.weights().unwrap(), &expect, &format!("{kind:?}/host-dram"));
+    }
+}
+
+#[test]
+fn striped_layout_is_slower_but_equally_correct() {
+    let kind = OptimizerKind::Adam;
+    let weights = WeightInit::default().generate(PARAMS);
+    let gen = GradientGen::new(4242);
+    let expect = reference_weights(kind, &weights, &gen);
+
+    let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+    let mut dev =
+        naive_striped_ndp(SsdConfig::tiny(), PARAMS as u64, opt, spec(kind), true).unwrap();
+    let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+    for step in 1..=STEPS {
+        let grads = gen.generate(step, PARAMS);
+        at = dev.run_step(Some(&grads), at).unwrap().end;
+    }
+    assert_bit_equal(
+        &dev.read_master_weights(at).unwrap(),
+        &expect,
+        "striped/die-ndp",
+    );
+}
+
+#[test]
+fn bf16_gradients_agree_across_paths() {
+    let kind = OptimizerKind::Adam;
+    let bf_spec = StateLayoutSpec::new(kind, GradDtype::Bf16);
+    let weights = WeightInit::default().generate(10_000);
+    let gen = GradientGen::new(5);
+
+    // Reference.
+    let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+    let mut reference = StateBuffers::init(opt.as_ref(), &weights, GradDtype::Bf16);
+    let grads = gen.generate(1, weights.len());
+    reference
+        .step(
+            opt.as_ref(),
+            &encode_grads(&grads, GradDtype::Bf16),
+            GradDtype::Bf16,
+            1,
+        )
+        .unwrap();
+
+    // In-storage.
+    let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+    let mut dev = OptimStoreDevice::new_functional(
+        SsdConfig::tiny(),
+        OptimStoreConfig::die_ndp(),
+        weights.len() as u64,
+        opt,
+        bf_spec,
+    )
+    .unwrap();
+    let at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+    let at = dev.run_step(Some(&grads), at).unwrap().end;
+    assert_bit_equal(
+        &dev.read_master_weights(at).unwrap(),
+        &reference.weights_f32(),
+        "bf16/die-ndp",
+    );
+}
+
+#[test]
+fn working_weights_track_masters_everywhere() {
+    let kind = OptimizerKind::AdamW;
+    let weights = WeightInit::default().generate(12_000);
+    let gen = GradientGen::new(9);
+
+    let opt = make_optimizer(kind, AdamParams::default(), MomentumParams::default());
+    let mut dev = OptimStoreDevice::new_functional(
+        SsdConfig::tiny(),
+        OptimStoreConfig::die_ndp(),
+        weights.len() as u64,
+        opt,
+        spec(kind),
+    )
+    .unwrap();
+    let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+    for step in 1..=2 {
+        let grads = gen.generate(step, weights.len());
+        at = dev.run_step(Some(&grads), at).unwrap().end;
+    }
+    let masters = dev.read_master_weights(at).unwrap();
+    let w16 = dev.read_weights16(at).unwrap();
+    for (i, (m, w)) in masters.iter().zip(&w16).enumerate() {
+        let narrowed = optimstore::optim_math::F16::from_f32(*m).to_f32();
+        assert_eq!(w.to_bits(), narrowed.to_bits(), "param {i}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Property-based tests over the core invariants: FTL mapping laws,
+//! numeric round-trips, in-storage/reference agreement, partition
+//! coverage, and event ordering — with inputs chosen by proptest.
+
+use optimstore::dnn_model::ZeroPartition;
+use optimstore::optim_math::kernels::{encode_grads, StateBuffers};
+use optimstore::optim_math::state::GradDtype;
+use optimstore::optim_math::{Adam, Bf16, F16};
+use optimstore::optimstore_core::{OptimStoreConfig, OptimStoreDevice};
+use optimstore::simkit::{EventQueue, SimTime};
+use optimstore::ssdsim::{Device, Lpn, SsdConfig};
+use optimstore::workloads::SlicedRun;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The FTL never maps two live logical pages to the same physical page,
+    /// and reads always return the latest version, under arbitrary
+    /// write/overwrite/trim sequences.
+    #[test]
+    fn ftl_mapping_is_injective_and_fresh(ops in prop::collection::vec((0u64..64, 0u8..3), 1..300)) {
+        let mut dev = Device::new_functional(SsdConfig::tiny());
+        let page = dev.page_bytes();
+        let mut shadow: HashMap<u64, u8> = HashMap::new();
+        let mut version = 0u8;
+        for (lpn, op) in ops {
+            match op {
+                0 | 1 => {
+                    version = version.wrapping_add(1);
+                    let data = vec![version; page];
+                    dev.host_write_page(Lpn(lpn), Some(&data), SimTime::ZERO).unwrap();
+                    shadow.insert(lpn, version);
+                }
+                _ => {
+                    dev.trim(Lpn(lpn)).unwrap();
+                    shadow.remove(&lpn);
+                }
+            }
+        }
+        // Injectivity over live mappings.
+        let mut seen = std::collections::HashSet::new();
+        for &lpn in shadow.keys() {
+            let ppa = dev.ftl().lookup(Lpn(lpn)).expect("live page must be mapped");
+            prop_assert!(seen.insert(ppa), "two LPNs map to {ppa}");
+        }
+        // Freshness.
+        for (&lpn, &v) in &shadow {
+            let (_, data) = dev.host_read_page(Lpn(lpn), SimTime::ZERO).unwrap();
+            prop_assert_eq!(data.unwrap()[0], v, "stale read of lpn {}", lpn);
+        }
+    }
+
+    /// f16 narrowing of any f32 lands on one of the two nearest
+    /// representable values.
+    #[test]
+    fn f16_narrowing_is_nearest(x in prop::num::f32::NORMAL) {
+        let h = F16::from_f32(x);
+        if h.is_finite() {
+            let y = h.to_f32();
+            let up = F16(h.0 + 1).to_f32();
+            let down = if h.0 & 0x3FF > 0 { F16(h.0 - 1).to_f32() } else { y };
+            let err = (y - x).abs();
+            prop_assert!(err <= (up - x).abs() + f32::EPSILON.max(0.0));
+            prop_assert!(err <= (down - x).abs() + f32::EPSILON.max(0.0));
+        }
+    }
+
+    /// bf16 round-trips through f32 exactly.
+    #[test]
+    fn bf16_widen_narrow_identity(bits in 0u16..=u16::MAX) {
+        let h = Bf16(bits);
+        if !h.is_nan() {
+            prop_assert_eq!(Bf16::from_f32(h.to_f32()), h);
+        }
+    }
+
+    /// The in-storage update equals the reference for arbitrary sizes,
+    /// weights and gradients.
+    #[test]
+    fn in_storage_adam_matches_reference(
+        n in 1usize..6000,
+        seed in 0u64..1000,
+    ) {
+        let mut rng_state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            rng_state ^= rng_state << 13;
+            rng_state ^= rng_state >> 7;
+            rng_state ^= rng_state << 17;
+            (rng_state as f64 / u64::MAX as f64) as f32 - 0.5
+        };
+        let weights: Vec<f32> = (0..n).map(|_| next()).collect();
+        let grads: Vec<f32> = (0..n).map(|_| next() * 0.1).collect();
+
+        let adam = Adam::default();
+        let mut dev = OptimStoreDevice::new_functional(
+            SsdConfig::tiny(),
+            OptimStoreConfig::die_ndp(),
+            n as u64,
+            Box::new(adam),
+            optimstore::optim_math::state::StateLayoutSpec::new(
+                optimstore::optim_math::OptimizerKind::Adam,
+                GradDtype::F16,
+            ),
+        ).unwrap();
+        let at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+        let at = dev.run_step(Some(&grads), at).unwrap().end;
+        let got = dev.read_master_weights(at).unwrap();
+
+        let mut reference = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        reference.step(&adam, &encode_grads(&grads, GradDtype::F16), GradDtype::F16, 1).unwrap();
+        let expect = reference.weights_f32();
+        for i in 0..n {
+            prop_assert_eq!(got[i].to_bits(), expect[i].to_bits(), "param {}", i);
+        }
+    }
+
+    /// ZeRO partitions cover every parameter exactly once for any shape.
+    #[test]
+    fn zero_partition_total_coverage(params in 1u64..1_000_000, devices in 1u32..64) {
+        let p = ZeroPartition::new(params, devices);
+        let mut covered = 0u64;
+        let mut prev_end = 0u64;
+        for r in p.ranges() {
+            prop_assert_eq!(r.start, prev_end);
+            covered += r.end - r.start;
+            prev_end = r.end;
+        }
+        prop_assert_eq!(covered, params);
+        // Spot-check owner_of agreement.
+        for probe in [0, params / 2, params - 1] {
+            let owner = p.owner_of(probe);
+            let r = p.range_of(owner);
+            prop_assert!(r.contains(&probe));
+        }
+    }
+
+    /// Event queues pop in nondecreasing time order with FIFO ties.
+    #[test]
+    fn event_queue_is_stable_sorted(times in prop::collection::vec(0u64..1000, 1..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_ns(t), (t, i));
+        }
+        let mut last = (0u64, 0usize);
+        let mut first = true;
+        q.drain_ordered(|time, (t, i)| {
+            assert_eq!(time, SimTime::from_ns(t));
+            if !first {
+                assert!(t > last.0 || (t == last.0 && i > last.1), "order violated");
+            }
+            first = false;
+            last = (t, i);
+        });
+    }
+
+    /// Slices always cover the model exactly when scaled.
+    #[test]
+    fn sliced_run_is_consistent(
+        params in 1u64..10_000_000_000,
+        cap in 1u64..100_000_000,
+        granule in 1u64..1_000_000,
+    ) {
+        let s = SlicedRun::plan(params, cap, granule);
+        prop_assert!(s.sim_params >= 1);
+        prop_assert!(s.scale >= 1.0);
+        let implied = s.sim_params as f64 * s.scale;
+        let rel = (implied - params as f64).abs() / params as f64;
+        prop_assert!(rel < 1e-9);
+        if params <= cap {
+            prop_assert!(s.is_full());
+        } else {
+            prop_assert_eq!(s.sim_params % granule, 0);
+        }
+    }
+
+    /// The command decoder never panics and only accepts well-formed
+    /// buffers (fuzz).
+    #[test]
+    fn protocol_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        use optimstore::optimstore_core::protocol::UpdateCommand;
+        let _ = UpdateCommand::decode(&bytes); // must not panic
+        if bytes.len() == 64 {
+            if let Ok(cmd) = UpdateCommand::decode(&bytes) {
+                // Anything accepted must re-encode to the same bytes
+                // (canonical wire format).
+                assert_eq!(cmd.encode().to_vec(), bytes);
+            }
+        }
+    }
+
+    /// Top-k compression round-trips: dense → sparse → dense keeps exactly
+    /// the selected entries and zeroes the rest; wire accounting matches.
+    #[test]
+    fn topk_compression_invariants(
+        dense in prop::collection::vec(-100.0f32..100.0, 1..500),
+        permille in 1u16..=1000,
+    ) {
+        use optimstore::optim_math::compress::SparseGrad;
+        let fraction = permille as f64 / 1000.0;
+        let s = SparseGrad::top_k(&dense, fraction);
+        let k = ((dense.len() as f64 * fraction).ceil() as usize).min(dense.len());
+        prop_assert_eq!(s.nnz(), k);
+        let rebuilt = s.to_dense();
+        prop_assert_eq!(rebuilt.len(), dense.len());
+        // Every kept entry matches the original; the smallest kept
+        // magnitude is >= the largest dropped magnitude.
+        let mut min_kept = f32::INFINITY;
+        for &i in s.indices() {
+            prop_assert_eq!(rebuilt[i as usize], dense[i as usize]);
+            min_kept = min_kept.min(dense[i as usize].abs());
+        }
+        let kept: std::collections::HashSet<u32> = s.indices().iter().copied().collect();
+        for (i, &v) in dense.iter().enumerate() {
+            if !kept.contains(&(i as u32)) {
+                prop_assert_eq!(rebuilt[i], 0.0);
+                prop_assert!(v.abs() <= min_kept + 1e-6);
+            }
+        }
+        prop_assert_eq!(s.wire_bytes(), 16 + 6 * k as u64);
+    }
+
+    /// The NAND die enforces its discipline against a shadow model under
+    /// random operation sequences (fuzz).
+    #[test]
+    fn nand_discipline_fuzz(ops in prop::collection::vec((0u8..3, 0u32..2, 0u32..4, 0u32..8), 1..200)) {
+        use optimstore::nandsim::{Die, NandConfig, PhysPage, BlockAddr};
+        let cfg = NandConfig {
+            geometry: optimstore::nandsim::NandGeometry {
+                planes: 2,
+                blocks_per_plane: 4,
+                pages_per_block: 8,
+                page_bytes: 64,
+            },
+            ..NandConfig::tiny_test_die()
+        };
+        let mut die = Die::new(7, cfg);
+        // Shadow: per block, number of programmed pages.
+        let mut shadow = std::collections::HashMap::<(u32, u32), u32>::new();
+        for (op, plane, block, page) in ops {
+            match op {
+                0 => {
+                    let p = PhysPage { plane, block, page };
+                    let cursor = *shadow.get(&(plane, block)).unwrap_or(&0);
+                    let r = die.program_page(p, SimTime::ZERO, None);
+                    if page == cursor && cursor < 8 {
+                        prop_assert!(r.is_ok(), "legal program rejected: {r:?}");
+                        shadow.insert((plane, block), cursor + 1);
+                    } else {
+                        prop_assert!(r.is_err(), "illegal program accepted at {p:?}");
+                    }
+                }
+                1 => {
+                    let p = PhysPage { plane, block, page };
+                    let cursor = *shadow.get(&(plane, block)).unwrap_or(&0);
+                    let r = die.read_page(p, SimTime::ZERO);
+                    if page < cursor {
+                        prop_assert!(r.is_ok(), "legal read rejected");
+                    } else {
+                        prop_assert!(r.is_err(), "read of unwritten page accepted");
+                    }
+                }
+                _ => {
+                    let b = BlockAddr { plane, block };
+                    prop_assert!(die.erase_block(b, SimTime::ZERO).is_ok());
+                    shadow.insert((plane, block), 0);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The event simulation and the closed-form audit agree within 40 % for
+    /// random device shapes — the validation behind the slice-and-scale
+    /// methodology, exercised across the configuration space rather than
+    /// just the presets.
+    #[test]
+    fn audit_matches_simulation_for_random_devices(
+        channels_pow in 1u32..=4,   // 2..16 channels
+        dies_pow in 1u32..=3,       // 2..8 dies per channel
+        pcie_gbps in 2u64..=16,
+    ) {
+        use optimstore::optimstore_core::OptimStoreConfig;
+        use optimstore::ssdsim::{PciGen, SsdConfig};
+        use optimstore::optim_math::OptimizerKind;
+        use optimstore_bench::runners::run_ndp;
+
+        let ssd = SsdConfig {
+            channels: 1 << channels_pow,
+            dies_per_channel: 1 << dies_pow,
+            pcie: PciGen::Custom(pcie_gbps * 1_000_000_000),
+            ..SsdConfig::base()
+        };
+        let m = run_ndp(
+            &ssd,
+            &OptimStoreConfig::die_ndp(),
+            OptimizerKind::Adam,
+            500_000_000,
+            1 << 21,
+        );
+        prop_assert!(
+            m.audit_error() < 0.40,
+            "config {}ch x {}d pcie {}GB/s: sim {} vs audit {} ({:.0}% off, bottleneck {})",
+            ssd.channels,
+            ssd.dies_per_channel,
+            pcie_gbps,
+            m.step_time,
+            m.audit.step_time(m.params),
+            m.audit_error() * 100.0,
+            m.audit.bottleneck
+        );
+    }
+}

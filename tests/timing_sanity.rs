@@ -1,0 +1,117 @@
+//! Timing sanity across crates: the relationships the paper's argument
+//! rests on must hold in the event simulation, not just the analytic
+//! audit.
+
+use optimstore::baselines::HostNvmeConfig;
+use optimstore::optim_math::OptimizerKind;
+use optimstore::optimstore_core::OptimStoreConfig;
+use optimstore::ssdsim::{PciGen, SsdConfig};
+use optimstore_bench::runners::{run_host_nvme, run_ndp};
+
+const MODEL: u64 = 1_000_000_000; // 1 B params
+const CAP: u64 = 1 << 22;
+
+#[test]
+fn tier_ordering_holds_in_simulation() {
+    let ssd = SsdConfig::base();
+    let host = run_host_nvme(&ssd, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let ch = run_ndp(&ssd, &OptimStoreConfig::channel_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    assert!(
+        die.step_time < ch.step_time && ch.step_time < host.step_time,
+        "expected die < channel < host, got {} / {} / {}",
+        die.step_time,
+        ch.step_time,
+        host.step_time
+    );
+    // The paper's headline factor: several-fold over host offload.
+    let speedup = host.step_time.as_secs_f64() / die.step_time.as_secs_f64();
+    assert!((2.0..10.0).contains(&speedup), "die-ndp speedup {speedup}");
+}
+
+#[test]
+fn more_dies_make_die_ndp_faster_not_host() {
+    let small = SsdConfig::small();
+    let base = SsdConfig::base();
+    let die_small = run_ndp(&small, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let die_base = run_ndp(&base, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    // 16 → 64 dies: near-linear internal scaling.
+    let scale = die_small.step_time.as_secs_f64() / die_base.step_time.as_secs_f64();
+    assert!(scale > 3.0, "die-ndp scaling with 4x dies was only {scale:.2}x");
+
+    let host_small =
+        run_host_nvme(&small, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let host_base =
+        run_host_nvme(&base, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let host_scale = host_small.step_time.as_secs_f64() / host_base.step_time.as_secs_f64();
+    assert!(
+        host_scale < scale,
+        "host offload must scale worse than die-ndp ({host_scale:.2} vs {scale:.2})"
+    );
+}
+
+#[test]
+fn host_improves_with_pcie_but_die_ndp_does_not_care() {
+    let mut gen3 = SsdConfig::base();
+    gen3.pcie = PciGen::Custom(2_000_000_000);
+    let mut gen5 = SsdConfig::base();
+    gen5.pcie = PciGen::Custom(16_000_000_000);
+
+    let host3 = run_host_nvme(&gen3, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let host5 = run_host_nvme(&gen5, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    assert!(
+        host5.step_time.as_secs_f64() < host3.step_time.as_secs_f64() * 0.8,
+        "host must benefit substantially from faster PCIe: {} vs {}",
+        host3.step_time,
+        host5.step_time
+    );
+
+    let die3 = run_ndp(&gen3, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let die5 = run_ndp(&gen5, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let change = (die3.step_time.as_secs_f64() - die5.step_time.as_secs_f64()).abs()
+        / die5.step_time.as_secs_f64();
+    assert!(
+        change < 0.10,
+        "die-ndp should be nearly PCIe-insensitive, changed {:.1}%",
+        change * 100.0
+    );
+}
+
+#[test]
+fn traffic_accounting_matches_state_arithmetic() {
+    let ssd = SsdConfig::base();
+    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    // Adam: 12 B/param read, 14 B/param written, 2 B/param of gradient in.
+    // Page padding inflates by < 1% at this scale.
+    let tol = 0.02;
+    let per_param = |bytes: u64| bytes as f64 / MODEL as f64;
+    assert!((per_param(die.traffic.array_read) - 12.0).abs() / 12.0 < tol);
+    assert!((per_param(die.traffic.array_program) - 14.0).abs() / 14.0 < tol);
+    assert!((per_param(die.traffic.pcie_in) - 2.0).abs() / 2.0 < tol);
+    assert_eq!(die.traffic.pcie_out, 0);
+
+    let host = run_host_nvme(&ssd, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    assert!((per_param(host.traffic.pcie_out) - 14.0).abs() / 14.0 < tol);
+    assert!((per_param(host.traffic.pcie_in) - 14.0).abs() / 14.0 < tol);
+}
+
+#[test]
+fn energy_hierarchy_holds() {
+    let ssd = SsdConfig::base();
+    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let ch = run_ndp(&ssd, &OptimStoreConfig::channel_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let host = run_host_nvme(&ssd, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    assert!(die.energy.total() < ch.energy.total());
+    assert!(ch.energy.total() < host.energy.total());
+    // Most of the host's energy is in moving bytes off-device.
+    assert!(host.energy.pcie + host.energy.host + host.energy.dram > host.energy.total() * 0.5);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let ssd = SsdConfig::base();
+    let a = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let b = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    assert_eq!(a.step_time, b.step_time);
+    assert_eq!(a.traffic, b.traffic);
+}
