@@ -75,7 +75,11 @@ impl HostDramBaseline {
             spec,
             params,
             buffers: functional.then(|| {
-                StateBuffers::init(optimizer.as_ref(), &vec![0.0; params as usize], spec.grad_dtype)
+                StateBuffers::init(
+                    optimizer.as_ref(),
+                    &vec![0.0; params as usize],
+                    spec.grad_dtype,
+                )
             }),
             optimizer,
             dram: Timeline::new("host-dram"),
@@ -101,7 +105,9 @@ impl HostDramBaseline {
                 ));
                 Ok(())
             }
-            None => Err(CoreError::ModeMismatch("load_weights needs functional mode")),
+            None => Err(CoreError::ModeMismatch(
+                "load_weights needs functional mode",
+            )),
         }
     }
 
@@ -125,9 +131,8 @@ impl HostDramBaseline {
     ) -> Result<StepReport, CoreError> {
         self.step += 1;
         if let Some(buffers) = &mut self.buffers {
-            let grads = grads.ok_or(CoreError::ModeMismatch(
-                "functional device needs gradients",
-            ))?;
+            let grads =
+                grads.ok_or(CoreError::ModeMismatch("functional device needs gradients"))?;
             if grads.len() as u64 != self.params {
                 return Err(CoreError::GradLength {
                     got: grads.len(),
@@ -136,7 +141,12 @@ impl HostDramBaseline {
             }
             let bytes = encode_grads(grads, self.spec.grad_dtype);
             buffers
-                .step(self.optimizer.as_ref(), &bytes, self.spec.grad_dtype, self.step)
+                .step(
+                    self.optimizer.as_ref(),
+                    &bytes,
+                    self.spec.grad_dtype,
+                    self.step,
+                )
                 .expect("buffer sizes are consistent");
         }
         // Traffic: read state+grad, write state+w16, all through host DRAM.
@@ -161,6 +171,7 @@ impl HostDramBaseline {
             gc_copies: 0,
             groups_total: 0,
             groups_skipped: 0,
+            groups_replayed: 0,
         })
     }
 }

@@ -17,12 +17,10 @@
 
 use optim_math::kernels::{encode_grads, update_chunk};
 use optim_math::state::StateLayoutSpec;
-use optim_math::{F16, Optimizer};
+use optim_math::{Optimizer, F16};
 use optimstore_core::energy::{ActivityCounts, EnergyModel};
-use optimstore_core::{
-    CoreError, LayoutPolicy, StateComponent, StateLayout, StepReport,
-};
 use optimstore_core::report::TrafficBytes;
+use optimstore_core::{CoreError, LayoutPolicy, StateComponent, StateLayout, StepReport};
 use simkit::{SimDuration, SimTime, Timeline};
 use ssdsim::{Device, SsdConfig};
 
@@ -75,7 +73,13 @@ impl HostNvmeBaseline {
         optimizer: Box<dyn Optimizer>,
         spec: StateLayoutSpec,
     ) -> Result<Self, CoreError> {
-        Self::build(Device::new_functional(ssd), host_cfg, params, optimizer, spec)
+        Self::build(
+            Device::new_functional(ssd),
+            host_cfg,
+            params,
+            optimizer,
+            spec,
+        )
     }
 
     fn build(
@@ -93,7 +97,9 @@ impl HostNvmeBaseline {
             )));
         }
         if host_cfg.update_bytes_per_sec == 0 {
-            return Err(CoreError::Config("host updater throughput must be positive".into()));
+            return Err(CoreError::Config(
+                "host updater throughput must be positive".into(),
+            ));
         }
         // Gradients are spilled to flash, so they occupy layout pages.
         let layout = StateLayout::new(
@@ -264,73 +270,73 @@ impl HostNvmeBaseline {
             let mut pending: Vec<PendingWrite> = Vec::with_capacity(batch as usize);
 
             for g in batch_start..batch_end {
-            // ---- read state + gradient up to the host ------------------
-            let mut host_start = at;
-            let mut pages: Vec<(StateComponent, u32, Option<bytes::Bytes>)> = Vec::new();
-            for (comp, idx) in self.layout.read_set() {
-                let lpn = self.layout.lpn(g, comp, idx);
-                let (win, data) = self.device.host_read_page(lpn, at)?;
-                host_start = host_start.max(win.end);
-                pages.push((comp, idx, data));
-            }
-
-            // ---- host update --------------------------------------------
-            let work_bytes = (self.layout.read_set().len() + self.layout.write_set().len())
-                as u64
-                * pb as u64;
-            let service =
-                SimDuration::for_transfer(work_bytes, self.host_cfg.update_bytes_per_sec);
-            let host = self.host.acquire(host_start, service);
-
-            // ---- functional update --------------------------------------
-            let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
-            if functional {
-                let find = |comp: StateComponent, idx: u32| -> &bytes::Bytes {
-                    pages
-                        .iter()
-                        .find(|(c, i, _)| *c == comp && *i == idx)
-                        .and_then(|(_, _, d)| d.as_ref())
-                        .expect("functional read returns data")
-                };
-                let mut w32 = Vec::with_capacity(2 * pb);
-                w32.extend_from_slice(find(StateComponent::Master, 0));
-                w32.extend_from_slice(find(StateComponent::Master, 1));
-                let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
-                    .map(|s| {
-                        let mut b = Vec::with_capacity(2 * pb);
-                        b.extend_from_slice(find(StateComponent::Slot(s), 0));
-                        b.extend_from_slice(find(StateComponent::Slot(s), 1));
-                        b
-                    })
-                    .collect();
-                let grad_bytes = find(StateComponent::Grad, 0).to_vec();
-                let mut w16 = vec![0u8; pb];
-                let mut slot_refs: Vec<&mut [u8]> =
-                    slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                update_chunk(
-                    self.optimizer.as_ref(),
-                    &mut w32,
-                    &mut slot_refs,
-                    &grad_bytes,
-                    &mut w16,
-                    self.spec.grad_dtype,
-                    self.step,
-                )
-                .expect("layout-derived buffers are consistent");
-                new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
-                new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
-                for (s, buf) in slot_bufs.iter().enumerate() {
-                    new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
-                    new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
+                // ---- read state + gradient up to the host ------------------
+                let mut host_start = at;
+                let mut pages: Vec<(StateComponent, u32, Option<bytes::Bytes>)> = Vec::new();
+                for (comp, idx) in self.layout.read_set() {
+                    let lpn = self.layout.lpn(g, comp, idx);
+                    let (win, data) = self.device.host_read_page(lpn, at)?;
+                    host_start = host_start.max(win.end);
+                    pages.push((comp, idx, data));
                 }
-                new_pages.push((StateComponent::Weight16, 0, w16));
-            }
 
-            pending.push(PendingWrite {
-                g,
-                host_end: host.end,
-                new_pages,
-            });
+                // ---- host update --------------------------------------------
+                let work_bytes = (self.layout.read_set().len() + self.layout.write_set().len())
+                    as u64
+                    * pb as u64;
+                let service =
+                    SimDuration::for_transfer(work_bytes, self.host_cfg.update_bytes_per_sec);
+                let host = self.host.acquire(host_start, service);
+
+                // ---- functional update --------------------------------------
+                let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
+                if functional {
+                    let find = |comp: StateComponent, idx: u32| -> &bytes::Bytes {
+                        pages
+                            .iter()
+                            .find(|(c, i, _)| *c == comp && *i == idx)
+                            .and_then(|(_, _, d)| d.as_ref())
+                            .expect("functional read returns data")
+                    };
+                    let mut w32 = Vec::with_capacity(2 * pb);
+                    w32.extend_from_slice(find(StateComponent::Master, 0));
+                    w32.extend_from_slice(find(StateComponent::Master, 1));
+                    let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
+                        .map(|s| {
+                            let mut b = Vec::with_capacity(2 * pb);
+                            b.extend_from_slice(find(StateComponent::Slot(s), 0));
+                            b.extend_from_slice(find(StateComponent::Slot(s), 1));
+                            b
+                        })
+                        .collect();
+                    let grad_bytes = find(StateComponent::Grad, 0).to_vec();
+                    let mut w16 = vec![0u8; pb];
+                    let mut slot_refs: Vec<&mut [u8]> =
+                        slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                    update_chunk(
+                        self.optimizer.as_ref(),
+                        &mut w32,
+                        &mut slot_refs,
+                        &grad_bytes,
+                        &mut w16,
+                        self.spec.grad_dtype,
+                        self.step,
+                    )
+                    .expect("layout-derived buffers are consistent");
+                    new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
+                    new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
+                    for (s, buf) in slot_bufs.iter().enumerate() {
+                        new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
+                        new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
+                    }
+                    new_pages.push((StateComponent::Weight16, 0, w16));
+                }
+
+                pending.push(PendingWrite {
+                    g,
+                    host_end: host.end,
+                    new_pages,
+                });
             }
 
             // ---- write back ---------------------------------------------
@@ -362,7 +368,9 @@ impl HostNvmeBaseline {
     /// Reads back fp32 master weights (functional mode, verification).
     pub fn read_master_weights(&mut self, at: SimTime) -> Result<Vec<f32>, CoreError> {
         if !self.device.is_functional() {
-            return Err(CoreError::ModeMismatch("read_master_weights needs functional mode"));
+            return Err(CoreError::ModeMismatch(
+                "read_master_weights needs functional mode",
+            ));
         }
         let pb = self.page_bytes();
         let mut out = Vec::with_capacity(self.layout.params() as usize);
@@ -375,7 +383,9 @@ impl HostNvmeBaseline {
                 raw.extend_from_slice(&data.expect("functional device has data"));
             }
             for i in 0..group.param_count as usize {
-                out.push(f32::from_le_bytes(raw[4 * i..4 * i + 4].try_into().unwrap()));
+                out.push(f32::from_le_bytes(
+                    raw[4 * i..4 * i + 4].try_into().unwrap(),
+                ));
             }
         }
         Ok(out)
@@ -443,6 +453,7 @@ impl HostNvmeBaseline {
             gc_copies: after.gc_copies - before.gc_copies,
             groups_total: self.layout.num_groups(),
             groups_skipped: 0,
+            groups_replayed: 0,
         }
     }
 }
@@ -525,7 +536,7 @@ mod tests {
         .unwrap();
         b.load_weights(&vec![0.0; 1000], SimTime::ZERO).unwrap();
         assert!(matches!(
-            b.spill_gradients(Some(&vec![0.0; 5]), SimTime::ZERO),
+            b.spill_gradients(Some(&[0.0; 5]), SimTime::ZERO),
             Err(CoreError::GradLength { got: 5, .. })
         ));
     }
@@ -534,7 +545,9 @@ mod tests {
     fn zero_host_rate_rejected() {
         let err = HostNvmeBaseline::new(
             SsdConfig::tiny(),
-            HostNvmeConfig { update_bytes_per_sec: 0 },
+            HostNvmeConfig {
+                update_bytes_per_sec: 0,
+            },
             1000,
             Box::new(Adam::default()),
             spec(),

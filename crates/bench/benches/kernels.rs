@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use optim_math::kernels::{encode_grads, StateBuffers};
 use optim_math::state::GradDtype;
-use optim_math::{Adam, AdamW, F16, Optimizer, SgdMomentum};
+use optim_math::{Adam, AdamW, Optimizer, SgdMomentum, F16};
 use simkit::{EventQueue, SimTime};
 use ssdsim::{Device, Lpn, SsdConfig};
 use std::hint::black_box;
@@ -29,7 +29,8 @@ fn bench_optimizer_kernels(c: &mut Criterion) {
             let mut step = 0u64;
             b.iter(|| {
                 step += 1;
-                buf.step(opt.as_ref(), &grads, GradDtype::F16, step).unwrap();
+                buf.step(opt.as_ref(), &grads, GradDtype::F16, step)
+                    .unwrap();
                 black_box(&buf);
             });
         });

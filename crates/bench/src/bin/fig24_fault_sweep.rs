@@ -1,0 +1,11 @@
+//! Regenerates the reconstructed experiment `fig24_fault_sweep` (see
+//! DESIGN.md §4). Pass a parameter cap as the first argument to trade
+//! fidelity for time.
+
+fn main() {
+    let cap = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(optimstore_bench::runners::DEFAULT_SLICE_CAP);
+    optimstore_bench::experiments::fig24_fault_sweep(cap);
+}

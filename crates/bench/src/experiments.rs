@@ -15,9 +15,7 @@ use optim_math::kernels::{encode_grads, StateBuffers};
 use optim_math::state::{GradDtype, StateLayoutSpec};
 use optim_math::OptimizerKind;
 use optimstore_core::endurance::{analytic_erases_per_step, EnduranceReport};
-use optimstore_core::{
-    GradStaging, LayoutPolicy, OptimStoreConfig, OptimStoreDevice,
-};
+use optimstore_core::{GradStaging, LayoutPolicy, OptimStoreConfig, OptimStoreDevice};
 use simkit::SimTime;
 use ssdsim::{GcPolicy, Lpn, PciGen, SsdConfig};
 use workloads::{GradientGen, WeightInit};
@@ -31,10 +29,18 @@ fn header(id: &str, title: &str) {
 
 /// T1 — the model zoo with optimizer-state footprints and per-step traffic.
 pub fn table1_models() {
-    header("T1", "evaluation models and optimizer-state footprints (Adam, fp16 grads)");
+    header(
+        "T1",
+        "evaluation models and optimizer-state footprints (Adam, fp16 grads)",
+    );
     let spec = StateLayoutSpec::new(ADAM, GradDtype::F16);
     let mut t = Table::new(&[
-        "model", "layers", "hidden", "params", "flash state", "step traffic",
+        "model",
+        "layers",
+        "hidden",
+        "params",
+        "flash state",
+        "step traffic",
     ]);
     for m in zoo::evaluation_models() {
         let f = TrainingFootprint::of(&m, &spec);
@@ -54,8 +60,14 @@ pub fn table1_models() {
 pub fn table2_ssd_config() {
     header("T2", "SSD configurations");
     let mut t = Table::new(&[
-        "config", "channels", "dies/ch", "raw cap", "pcie/dir", "bus agg",
-        "array read", "array prog",
+        "config",
+        "channels",
+        "dies/ch",
+        "raw cap",
+        "pcie/dir",
+        "bus agg",
+        "array read",
+        "array prog",
     ]);
     for (name, cfg) in [
         ("small", SsdConfig::small()),
@@ -79,12 +91,13 @@ pub fn table2_ssd_config() {
 /// F3 — motivation: optimizer-step share of iteration time under host
 /// offload, across model sizes.
 pub fn fig3_motivation(cap: u64) {
-    header("F3", "optimizer share of training iteration under host-NVMe offload (A100, batch 8)");
+    header(
+        "F3",
+        "optimizer share of training iteration under host-NVMe offload (A100, batch 8)",
+    );
     let ssd = SsdConfig::base();
     let gpu = GpuSpec::a100();
-    let mut t = Table::new(&[
-        "model", "fwd+bwd", "opt step (host)", "opt share",
-    ]);
+    let mut t = Table::new(&["model", "fwd+bwd", "opt step (host)", "opt share"]);
     for m in zoo::evaluation_models() {
         let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, m.params(), cap);
         let compute = gpu.iteration_time(&m, 8);
@@ -119,10 +132,17 @@ fn three_tiers(ssd: &SsdConfig, params: u64, cap: u64) -> [Measured; 3] {
 
 /// F4 — optimizer-step latency per tier across the model zoo.
 pub fn fig4_step_latency(cap: u64) {
-    header("F4", "optimizer-step latency: host-nvme vs channel-ndp vs die-ndp (base SSD)");
+    header(
+        "F4",
+        "optimizer-step latency: host-nvme vs channel-ndp vs die-ndp (base SSD)",
+    );
     let ssd = SsdConfig::base();
     let mut t = Table::new(&[
-        "model", "host-nvme", "channel-ndp", "die-ndp", "audit err (die)",
+        "model",
+        "host-nvme",
+        "channel-ndp",
+        "die-ndp",
+        "audit err (die)",
         "die bottleneck",
     ]);
     for m in zoo::evaluation_models() {
@@ -133,7 +153,11 @@ pub fn fig4_step_latency(cap: u64) {
             fmt_secs(ch.step_time.as_secs_f64()),
             fmt_secs(die.step_time.as_secs_f64()),
             format!("{:.1}%", die.audit_error() * 100.0),
-            format!("{} ({:.0}%)", die.sim_bottleneck.0, die.sim_bottleneck.1 * 100.0),
+            format!(
+                "{} ({:.0}%)",
+                die.sim_bottleneck.0,
+                die.sim_bottleneck.1 * 100.0
+            ),
         ]);
     }
     t.print();
@@ -178,12 +202,13 @@ pub fn fig5_speedup(cap: u64) {
 
 /// F6 — end-to-end training-iteration speedup (compute + optimizer).
 pub fn fig6_end_to_end(cap: u64) {
-    header("F6", "end-to-end iteration speedup, die-ndp vs host-nvme (A100, batch 8)");
+    header(
+        "F6",
+        "end-to-end iteration speedup, die-ndp vs host-nvme (A100, batch 8)",
+    );
     let ssd = SsdConfig::base();
     let gpu = GpuSpec::a100();
-    let mut t = Table::new(&[
-        "model", "iter (host)", "iter (die-ndp)", "speedup",
-    ]);
+    let mut t = Table::new(&["model", "iter (host)", "iter (die-ndp)", "speedup"]);
     for m in zoo::evaluation_models() {
         let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, m.params(), cap);
         let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, m.params(), cap);
@@ -209,7 +234,12 @@ pub fn fig7_parallelism(cap: u64) {
     header("F7", "die-ndp step time vs internal parallelism (gpt3-13b)");
     let params = zoo::gpt3_13b().params();
     let mut t = Table::new(&[
-        "channels", "dies/ch", "total dies", "die-ndp", "host-nvme", "speedup",
+        "channels",
+        "dies/ch",
+        "total dies",
+        "die-ndp",
+        "host-nvme",
+        "speedup",
     ]);
     for channels in [4u32, 8, 16, 32] {
         for dies in [2u32, 4, 8] {
@@ -243,10 +273,17 @@ pub fn fig7_parallelism(cap: u64) {
 
 /// F8 — sensitivity to external (PCIe) bandwidth, GPT-3 13B.
 pub fn fig8_pcie(cap: u64) {
-    header("F8", "step time vs PCIe bandwidth (gpt3-13b, base SSD internals)");
+    header(
+        "F8",
+        "step time vs PCIe bandwidth (gpt3-13b, base SSD internals)",
+    );
     let params = zoo::gpt3_13b().params();
     let mut t = Table::new(&[
-        "pcie GB/s", "host-nvme", "die-ndp", "speedup", "host bottleneck",
+        "pcie GB/s",
+        "host-nvme",
+        "die-ndp",
+        "speedup",
+        "host bottleneck",
     ]);
     for gbps in [2u64, 4, 8, 16, 32, 64] {
         let cfg = SsdConfig {
@@ -271,12 +308,14 @@ pub fn fig8_pcie(cap: u64) {
 
 /// F9 — energy per optimizer step, broken down by component.
 pub fn fig9_energy(cap: u64) {
-    header("F9", "optimizer-step energy (gpt3-13b), joules by component");
+    header(
+        "F9",
+        "optimizer-step energy (gpt3-13b), joules by component",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let mut t = Table::new(&[
-        "tier", "array", "bus", "pcie", "dram", "host", "compute", "total",
-        "pJ/param",
+        "tier", "array", "bus", "pcie", "dram", "host", "compute", "total", "pJ/param",
     ]);
     for m in three_tiers(&ssd, params, cap) {
         let e = m.energy;
@@ -297,7 +336,10 @@ pub fn fig9_energy(cap: u64) {
 
 /// F10 — layout ablation: co-located vs tensor-striped placement.
 pub fn fig10_layout(cap: u64) {
-    header("F10", "layout ablation (gpt3-13b, die-ndp): co-located vs tensor-striped");
+    header(
+        "F10",
+        "layout ablation (gpt3-13b, die-ndp): co-located vs tensor-striped",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let co = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, params, cap);
@@ -336,9 +378,16 @@ pub fn fig10_layout(cap: u64) {
 /// every step) on a small functional-scale device so GC and wear levelling
 /// actually engage, with and without wear levelling.
 pub fn fig11_endurance() {
-    header("F11", "endurance: wear under repeated state rewrites (tiny device, hot/cold split)");
+    header(
+        "F11",
+        "endurance: wear under repeated state rewrites (tiny device, hot/cold split)",
+    );
     let mut t = Table::new(&[
-        "policy", "steps", "erases/step", "WAF", "imbalance",
+        "policy",
+        "steps",
+        "erases/step",
+        "WAF",
+        "imbalance",
         "proj. steps to wear-out",
     ]);
     for (name, wl, static_wl) in [
@@ -401,9 +450,7 @@ pub fn fig12_batch(cap: u64) {
     let gpu = GpuSpec::a100();
     let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, m.params(), cap);
     let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, m.params(), cap);
-    let mut t = Table::new(&[
-        "batch", "fwd+bwd", "share (host)", "share (die-ndp)",
-    ]);
+    let mut t = Table::new(&["batch", "fwd+bwd", "share (host)", "share (die-ndp)"]);
     for batch in [1u32, 2, 4, 8, 16, 32, 64] {
         let compute = gpu.iteration_time(&m, batch);
         let s_host = IterationBreakdown::synchronous(compute, host.step_time);
@@ -424,7 +471,11 @@ pub fn fig13_scaling(cap: u64) {
     let params = zoo::gpt3_175b().params();
     let ssd = SsdConfig::base();
     let mut t = Table::new(&[
-        "SSDs", "shard params", "die-ndp step", "host step", "speedup",
+        "SSDs",
+        "shard params",
+        "die-ndp step",
+        "host step",
+        "speedup",
     ]);
     for devices in [1u32, 2, 4, 8] {
         let part = ZeroPartition::new(params, devices);
@@ -433,8 +484,8 @@ pub fn fig13_scaling(cap: u64) {
         // simulated step. The host fleet shares one updater (simulated I/O
         // per shard, shared-updater bound across shards).
         let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, shard, cap);
-        let host_time = run_host_fleet(&ssd, &default_host_cfg(), ADAM, params, devices, cap)
-            .as_secs_f64();
+        let host_time =
+            run_host_fleet(&ssd, &default_host_cfg(), ADAM, params, devices, cap).as_secs_f64();
         t.row(&[
             devices.to_string(),
             format!("{:.1} B", shard as f64 / 1e9),
@@ -449,9 +500,16 @@ pub fn fig13_scaling(cap: u64) {
 /// T14 — functional correctness: in-storage vs host-reference updates must
 /// be bit-exact.
 pub fn table14_correctness() {
-    header("T14", "functional correctness: in-storage vs reference (max ULP distance)");
+    header(
+        "T14",
+        "functional correctness: in-storage vs reference (max ULP distance)",
+    );
     let mut t = Table::new(&["optimizer", "tier", "params", "steps", "max ULP diff"]);
-    for kind in [OptimizerKind::Adam, OptimizerKind::AdamW, OptimizerKind::SgdMomentum] {
+    for kind in [
+        OptimizerKind::Adam,
+        OptimizerKind::AdamW,
+        OptimizerKind::SgdMomentum,
+    ] {
         for (tier_name, cfg) in [
             ("die-ndp", OptimStoreConfig::die_ndp()),
             ("channel-ndp", OptimStoreConfig::channel_ndp()),
@@ -521,7 +579,12 @@ pub fn table14_correctness() {
     let (ro, _) = optimizer_and_spec(ADAM);
     let mut reference = StateBuffers::init(ro.as_ref(), &weights, GradDtype::F16);
     reference
-        .step(ro.as_ref(), &encode_grads(&grads, GradDtype::F16), GradDtype::F16, 1)
+        .step(
+            ro.as_ref(),
+            &encode_grads(&grads, GradDtype::F16),
+            GradDtype::F16,
+            1,
+        )
         .unwrap();
     let agree = host_w
         .iter()
@@ -536,7 +599,11 @@ pub fn fig15_optimizers(cap: u64) {
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let mut t = Table::new(&[
-        "optimizer", "state B/param", "flash state", "step time", "vs adam",
+        "optimizer",
+        "state B/param",
+        "flash state",
+        "step time",
+        "vs adam",
     ]);
     let adam_time = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, params, cap)
         .step_time
@@ -586,15 +653,21 @@ pub fn fig16_grad_staging(cap: u64) {
     t.print();
 }
 
-
 /// F17 — sparse (lazy) updates: frozen-layer fine-tuning with zero-gradient
 /// skipping.
 pub fn fig17_sparse_updates(cap: u64) {
-    header("F17", "lazy zero-gradient skipping (gpt3-13b, die-ndp, frozen-layer fine-tune)");
+    header(
+        "F17",
+        "lazy zero-gradient skipping (gpt3-13b, die-ndp, frozen-layer fine-tune)",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let mut t = Table::new(&[
-        "hot fraction", "step time", "groups skipped", "array prog", "wear (erases/step)",
+        "hot fraction",
+        "step time",
+        "groups skipped",
+        "array prog",
+        "wear (erases/step)",
     ]);
     for hot in [1.0f64, 0.5, 0.25, 0.1] {
         let cfg = OptimStoreConfig {
@@ -604,10 +677,9 @@ pub fn fig17_sparse_updates(cap: u64) {
         let granule = crate::runners::granule(&ssd);
         let slice = workloads::SlicedRun::plan(params, cap, granule);
         let (optimizer, spec) = optimizer_and_spec(ADAM);
-        let mut dev = optimstore_core::OptimStoreDevice::new(
-            ssd, cfg, slice.sim_params, optimizer, spec,
-        )
-        .unwrap();
+        let mut dev =
+            optimstore_core::OptimStoreDevice::new(ssd, cfg, slice.sim_params, optimizer, spec)
+                .unwrap();
         dev.set_phantom_hot_fraction(hot);
         let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
         let r1 = dev.run_step(None, t0).unwrap();
@@ -631,7 +703,10 @@ pub fn fig17_sparse_updates(cap: u64) {
 /// F18 — device aging: optimizer-step time as the NAND wears out
 /// (read-retries inflate tR).
 pub fn fig18_aging(cap: u64) {
-    header("F18", "step time vs device age (gpt3-13b, die-ndp; read-retries grow with wear)");
+    header(
+        "F18",
+        "step time vs device age (gpt3-13b, die-ndp; read-retries grow with wear)",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let rated = ssd.nand.cell.rated_pe_cycles();
@@ -672,7 +747,10 @@ pub fn fig18_aging(cap: u64) {
 /// F19 — checkpoint overhead: a checkpoint must cross PCIe regardless of
 /// tier, so how much of the NDP win does periodic checkpointing return?
 pub fn fig19_checkpoint(cap: u64) {
-    header("F19", "checkpoint overhead (gpt3-13b): state readout vs checkpoint interval");
+    header(
+        "F19",
+        "checkpoint overhead (gpt3-13b): state readout vs checkpoint interval",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let granule = crate::runners::granule(&ssd);
@@ -698,7 +776,11 @@ pub fn fig19_checkpoint(cap: u64) {
         fmt_secs(ck_time),
         ck_time / step_time
     );
-    let mut t = Table::new(&["ckpt every N steps", "overhead on die-ndp", "overhead on host-nvme"]);
+    let mut t = Table::new(&[
+        "ckpt every N steps",
+        "overhead on die-ndp",
+        "overhead on host-nvme",
+    ]);
     let host = run_host_nvme(&ssd, &default_host_cfg(), ADAM, params, cap);
     let host_step = host.step_time.as_secs_f64();
     for interval in [100u32, 500, 1000, 5000] {
@@ -713,11 +795,13 @@ pub fn fig19_checkpoint(cap: u64) {
     t.print();
 }
 
-
 /// F20 — gradient compression: top-k delivery breaks the PCIe floor of the
 /// sparse fine-tune case.
 pub fn fig20_compression(cap: u64) {
-    header("F20", "top-k gradient compression (gpt3-13b, die-ndp, 25% hot fine-tune + lazy skip)");
+    header(
+        "F20",
+        "top-k gradient compression (gpt3-13b, die-ndp, 25% hot fine-tune + lazy skip)",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let mut t = Table::new(&["gradient stream", "step time", "pcie-in bytes"]);
@@ -734,10 +818,9 @@ pub fn fig20_compression(cap: u64) {
         let granule = crate::runners::granule(&ssd);
         let slice = workloads::SlicedRun::plan(params, cap, granule);
         let (optimizer, spec) = optimizer_and_spec(ADAM);
-        let mut dev = optimstore_core::OptimStoreDevice::new(
-            ssd, cfg, slice.sim_params, optimizer, spec,
-        )
-        .unwrap();
+        let mut dev =
+            optimstore_core::OptimStoreDevice::new(ssd, cfg, slice.sim_params, optimizer, spec)
+                .unwrap();
         dev.set_phantom_hot_fraction(0.25);
         let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
         let r1 = dev.run_step(None, t0).unwrap();
@@ -752,20 +835,27 @@ pub fn fig20_compression(cap: u64) {
     t.print();
 }
 
-
 /// T21 — headline planning table: wall-clock time to train each model for
 /// 100 k steps, host offload vs OptimStore, including the fleet each needs
 /// for capacity + endurance.
 pub fn table21_time_to_train(cap: u64) {
-    header("T21", "time to train 100k steps (A100 batch 8, fleet sized for capacity+endurance)");
+    header(
+        "T21",
+        "time to train 100k steps (A100 batch 8, fleet sized for capacity+endurance)",
+    );
     const STEPS: f64 = 100_000.0;
     const WAF: f64 = 1.05;
     let ssd = SsdConfig::base();
     let gpu = GpuSpec::a100();
     let spec = StateLayoutSpec::new(ADAM, GradDtype::F16);
     let mut t = Table::new(&[
-        "model", "SSDs", "iter (host)", "iter (die-ndp)", "days (host)",
-        "days (die-ndp)", "saved",
+        "model",
+        "SSDs",
+        "iter (host)",
+        "iter (die-ndp)",
+        "days (host)",
+        "days (die-ndp)",
+        "saved",
     ]);
     for m in zoo::evaluation_models() {
         // Fleet size: capacity plus the endurance budget for the run.
@@ -781,9 +871,12 @@ pub fn table21_time_to_train(cap: u64) {
         let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), ADAM, shard, cap);
         let host_step = run_host_fleet(&ssd, &default_host_cfg(), ADAM, m.params(), devices, cap);
         let compute = gpu.iteration_time(&m, 8);
-        let it_host = IterationBreakdown::synchronous(compute, host_step).total().as_secs_f64();
-        let it_die =
-            IterationBreakdown::synchronous(compute, die.step_time).total().as_secs_f64();
+        let it_host = IterationBreakdown::synchronous(compute, host_step)
+            .total()
+            .as_secs_f64();
+        let it_die = IterationBreakdown::synchronous(compute, die.step_time)
+            .total()
+            .as_secs_f64();
         let days = |iter: f64| iter * STEPS / 86_400.0;
         t.row(&[
             m.name.into(),
@@ -798,19 +891,25 @@ pub fn table21_time_to_train(cap: u64) {
     t.print();
 }
 
-
 /// F22 — 8-bit optimizer state: blockwise-quantized moments shrink flash
 /// footprint, array traffic and wear (analytic, audit-based; the
 /// quantization kernels and their convergence are unit-tested in
 /// `optim-math::quant`).
 pub fn fig22_quantized_state() {
     use optimstore_core::audit::audit_ndp;
-    header("F22", "8-bit optimizer state (gpt3-13b, die-ndp; audit-based)");
+    header(
+        "F22",
+        "8-bit optimizer state (gpt3-13b, die-ndp; audit-based)",
+    );
     let params = zoo::gpt3_13b().params();
     let ssd = SsdConfig::base();
     let cfg = OptimStoreConfig::die_ndp();
     let mut t = Table::new(&[
-        "state encoding", "B/param", "flash state", "step time", "erases/step",
+        "state encoding",
+        "B/param",
+        "flash state",
+        "step time",
+        "erases/step",
     ]);
     for (name, spec) in [
         ("fp32 moments", StateLayoutSpec::new(ADAM, GradDtype::F16)),
@@ -836,11 +935,13 @@ pub fn fig22_quantized_state() {
     );
 }
 
-
 /// F23 — scheduler-granularity ablation: group-granular vs sub-group
 /// pipelined engines.
 pub fn fig23_scheduler_granularity(cap: u64) {
-    header("F23", "engine scheduling granularity (die-ndp): group vs sub-group pipelining");
+    header(
+        "F23",
+        "engine scheduling granularity (die-ndp): group vs sub-group pipelining",
+    );
     let ssd = SsdConfig::base();
     let params = zoo::gpt3_13b().params();
     let mut t = Table::new(&["optimizer", "scheduling", "step time", "speedup"]);
@@ -863,6 +964,87 @@ pub fn fig23_scheduler_granularity(cap: u64) {
         }
     }
     t.print();
+}
+
+/// F24 — media-fault sweep: step latency and block retirement as seeded
+/// faults are injected at increasing rates into devices of increasing age.
+/// Program/erase failures are recovered by block retirement (plus rescue
+/// copies); failed reads are retried by the device and, if still
+/// uncorrectable, replayed at the update-group level — so every row
+/// completes, and the cost of recovery shows up as latency, retirement
+/// and write amplification. Seeded injection makes rows reproducible:
+/// re-running prints identical numbers.
+pub fn fig24_fault_sweep(cap: u64) {
+    header(
+        "F24",
+        "media-fault sweep (gpt3-13b, die-ndp): step latency & retirement vs fault rate x age",
+    );
+    let params = zoo::gpt3_13b().params();
+    let base = SsdConfig::base();
+    let rated = base.nand.cell.rated_pe_cycles();
+    let mut t = Table::new(&[
+        "fault rate",
+        "age",
+        "step time",
+        "vs fault-free",
+        "p-fail/e-fail/r-retry",
+        "retired blks",
+        "rescued pages",
+    ]);
+    let mut fault_free = 0.0f64;
+    for s in workloads::fault_sweep_grid(24) {
+        let rate = s.fault.program_fail;
+        let ssd = if s.fault.is_active() {
+            base.with_fault(s.fault)
+        } else {
+            base
+        };
+        let granule = crate::runners::granule(&ssd);
+        let slice = workloads::SlicedRun::plan(params, cap, granule);
+        let (optimizer, spec) = optimizer_and_spec(ADAM);
+        let mut dev = OptimStoreDevice::new(
+            ssd,
+            OptimStoreConfig::die_ndp(),
+            slice.sim_params,
+            optimizer,
+            spec,
+        )
+        .unwrap();
+        dev.simulate_wear(s.pe_cycles(rated));
+        let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+        let r1 = dev.run_step(None, t0).unwrap();
+        let t1 = dev.quiesce_time().max(r1.end);
+        let r2 = dev.run_step(None, t1).unwrap();
+        let step = slice.scale_duration(r2.duration).as_secs_f64();
+        if rate == 0.0 {
+            // First column of each age block is its fault-free control.
+            fault_free = step;
+        }
+        let st = dev.ssd().stats();
+        t.row(&[
+            if rate == 0.0 {
+                "0 (control)".into()
+            } else {
+                format!("{rate:.0e}")
+            },
+            format!("{:.0}% PE", s.age_fraction * 100.0),
+            fmt_secs(step),
+            format!("{:.2}x", step / fault_free),
+            format!(
+                "{}/{}/{}",
+                st.program_failures.get(),
+                st.erase_failures.get(),
+                st.read_retries.get()
+            ),
+            st.retired_blocks.get().to_string(),
+            st.rescue_copies.get().to_string(),
+        ]);
+    }
+    t.print();
+    println!(
+        "(counts cover state load + 2 steps on the simulated slice; \
+         seeded injection makes every row deterministic)"
+    );
 }
 
 /// Runs every experiment (the `figures` bench target and the full harness
@@ -891,4 +1073,5 @@ pub fn run_all(cap: u64) {
     table21_time_to_train(cap);
     fig22_quantized_state();
     fig23_scheduler_granularity(cap);
+    fig24_fault_sweep(cap);
 }

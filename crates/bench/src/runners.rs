@@ -18,20 +18,20 @@ use workloads::SlicedRun;
 /// per-run determinism is unaffected — only harness wall-clock improves.
 pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
     let n = jobs.len();
-    let results: parking_lot::Mutex<Vec<Option<T>>> =
-        parking_lot::Mutex::new((0..n).map(|_| None).collect());
-    crossbeam::thread::scope(|scope| {
+    let results: std::sync::Mutex<Vec<Option<T>>> =
+        std::sync::Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
         for (i, job) in jobs.into_iter().enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let out = job();
-                results.lock()[i] = Some(out);
+                results.lock().expect("result lock")[i] = Some(out);
             });
         }
-    })
-    .expect("measurement worker panicked");
+    });
     results
         .into_inner()
+        .expect("result lock")
         .into_iter()
         .map(|r| r.expect("every job ran"))
         .collect()
@@ -202,7 +202,10 @@ fn step_bottleneck(ssd: &SsdConfig, traffic: &TrafficBytes, dur_secs: f64) -> (&
         ("pcie-in", frac(traffic.pcie_in, ssd.pcie.bytes_per_sec())),
         ("pcie-out", frac(traffic.pcie_out, ssd.pcie.bytes_per_sec())),
         ("ctrl-dram", frac(traffic.dram, ssd.dram_bytes_per_sec)),
-        ("onfi-bus", frac(traffic.bus, ssd.aggregate_bus_bytes_per_sec())),
+        (
+            "onfi-bus",
+            frac(traffic.bus, ssd.aggregate_bus_bytes_per_sec()),
+        ),
         ("die-planes", die_busy / dur_secs),
     ];
     candidates
@@ -272,9 +275,21 @@ mod tests {
 
         // Parallel measurement equals sequential measurement.
         let ssd = SsdConfig::tiny();
-        let seq = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, 100_000, 1 << 20);
+        let seq = run_ndp(
+            &ssd,
+            &OptimStoreConfig::die_ndp(),
+            OptimizerKind::Adam,
+            100_000,
+            1 << 20,
+        );
         let par = run_parallel(vec![Box::new(move || {
-            run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, 100_000, 1 << 20)
+            run_ndp(
+                &ssd,
+                &OptimStoreConfig::die_ndp(),
+                OptimizerKind::Adam,
+                100_000,
+                1 << 20,
+            )
         }) as Box<dyn FnOnce() -> Measured + Send>]);
         assert_eq!(seq.step_time, par[0].step_time);
     }

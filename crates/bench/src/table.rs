@@ -78,7 +78,11 @@ impl Table {
             let name: String = self
                 .headers
                 .first()
-                .map(|h| h.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect())
+                .map(|h| {
+                    h.chars()
+                        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+                        .collect()
+                })
                 .unwrap_or_else(|| "table".into());
             let path = std::path::Path::new(&dir).join(format!("{name}.csv"));
             let _ = std::fs::create_dir_all(&dir);
@@ -97,7 +101,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -210,11 +221,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_max() {
-        let s = bar_chart(
-            &[("short".into(), 1.0), ("long-label".into(), 4.0)],
-            8,
-            "s",
-        );
+        let s = bar_chart(&[("short".into(), 1.0), ("long-label".into(), 4.0)], 8, "s");
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 2);
         // The max row fills the width; the 1/4 row gets 2 cells.

@@ -65,11 +65,7 @@ impl AuditReport {
 /// # Panics
 /// Panics if called with [`ExecutionTier::HostNvme`] — use
 /// [`audit_host_nvme`] for the baseline.
-pub fn audit_ndp(
-    ssd: &SsdConfig,
-    core: &OptimStoreConfig,
-    spec: &StateLayoutSpec,
-) -> AuditReport {
+pub fn audit_ndp(ssd: &SsdConfig, core: &OptimStoreConfig, spec: &StateLayoutSpec) -> AuditReport {
     let read = spec.state_read_bytes() as f64; // 12 for Adam
     let write = spec.state_write_bytes() as f64; // 14
     let grad = spec.grad_bytes() as f64; // 2
@@ -147,7 +143,11 @@ fn bottleneck(
         ("pcie-in", bpp.pcie_in, ssd.pcie.bytes_per_sec() as f64),
         ("pcie-out", bpp.pcie_out, ssd.pcie.bytes_per_sec() as f64),
         ("ctrl-dram", bpp.dram, ssd.dram_bytes_per_sec as f64),
-        ("onfi-bus", bpp.bus, ssd.aggregate_bus_bytes_per_sec() as f64),
+        (
+            "onfi-bus",
+            bpp.bus,
+            ssd.aggregate_bus_bytes_per_sec() as f64,
+        ),
         (
             "array-read",
             bpp.array_read,
@@ -172,8 +172,7 @@ fn bottleneck(
     }
     // Reads and programs share the *same* planes, so the array's true cap
     // is the serialized combination, which is tighter than either alone.
-    let combined_secs_per_param = bpp.array_read
-        / ssd.aggregate_array_read_bytes_per_sec() as f64
+    let combined_secs_per_param = bpp.array_read / ssd.aggregate_array_read_bytes_per_sec() as f64
         + bpp.array_program / ssd.aggregate_array_program_bytes_per_sec() as f64;
     if combined_secs_per_param > 0.0 {
         let rate = 1.0 / combined_secs_per_param;

@@ -106,6 +106,15 @@ pub struct OptimStoreConfig {
     /// remaining PCIe stream; pair with error feedback
     /// ([`optim_math::compress::ErrorFeedback`]) for convergence.
     pub grad_topk_permille: Option<u16>,
+    /// Bounded update-group replay: when an operand read stays
+    /// ECC-uncorrectable after the device's own read-retries
+    /// ([`ssdsim::SsdError::UncorrectableRead`]), the executor re-reads the
+    /// group's operands and recomputes the update, up to this many times
+    /// per group, before surfacing the error. Nothing has been written back
+    /// when an operand read fails, so a replayed group is bit-exact with an
+    /// undisturbed one. `0` disables replay (the first uncorrectable read
+    /// aborts the step).
+    pub max_group_replays: u32,
     /// Skip update groups whose gradient page is entirely zero (lazy-Adam
     /// semantics). The engine still scans the gradient, but state pages are
     /// neither read nor rewritten — saving array bandwidth *and* wear for
@@ -126,6 +135,7 @@ impl OptimStoreConfig {
             engine: EngineConfig::default(),
             grad_staging: GradStaging::Stream,
             grad_topk_permille: None,
+            max_group_replays: 2,
             skip_zero_gradients: false,
         }
     }
@@ -171,6 +181,13 @@ mod tests {
     fn presets_validate() {
         OptimStoreConfig::die_ndp().validate().unwrap();
         OptimStoreConfig::channel_ndp().validate().unwrap();
+        // The presets arm bounded replay; 0 (replay off) is also legal.
+        assert_eq!(OptimStoreConfig::die_ndp().max_group_replays, 2);
+        let c = OptimStoreConfig {
+            max_group_replays: 0,
+            ..OptimStoreConfig::die_ndp()
+        };
+        c.validate().unwrap();
     }
 
     #[test]

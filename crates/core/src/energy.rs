@@ -165,8 +165,8 @@ mod tests {
             host_compute_bytes: 0,
         };
         let e = counts.energy(&EnergyModel::default());
-        let sum = e.array_read + e.array_program + e.erase + e.bus + e.pcie + e.dram + e.host
-            + e.compute;
+        let sum =
+            e.array_read + e.array_program + e.erase + e.bus + e.pcie + e.dram + e.host + e.compute;
         assert!((e.total() - sum).abs() < 1e-15);
         assert!(e.erase > 0.0);
     }

@@ -20,7 +20,7 @@ use crate::report::{StepReport, TrafficBytes};
 use bytes::Bytes;
 use optim_math::kernels::{encode_grads, update_chunk};
 use optim_math::state::StateLayoutSpec;
-use optim_math::{F16, Optimizer};
+use optim_math::{Optimizer, F16};
 use simkit::{SimTime, Timeline};
 use ssdsim::{Device, SsdConfig, SsdError};
 use std::error::Error;
@@ -277,7 +277,9 @@ impl OptimStoreDevice {
     /// interface. Returns the time the load completes.
     pub fn load_weights(&mut self, weights: &[f32], at: SimTime) -> Result<SimTime, CoreError> {
         if !self.device.is_functional() {
-            return Err(CoreError::ModeMismatch("load_weights needs a functional device"));
+            return Err(CoreError::ModeMismatch(
+                "load_weights needs a functional device",
+            ));
         }
         if weights.len() as u64 != self.layout.params() {
             return Err(CoreError::GradLength {
@@ -331,7 +333,9 @@ impl OptimStoreDevice {
     /// so subsequent reads are legal. Returns the completion time.
     pub fn load_phantom(&mut self, at: SimTime) -> Result<SimTime, CoreError> {
         if self.device.is_functional() {
-            return Err(CoreError::ModeMismatch("load_phantom needs a phantom device"));
+            return Err(CoreError::ModeMismatch(
+                "load_phantom needs a phantom device",
+            ));
         }
         let mut end = at;
         for g in 0..self.layout.num_groups() {
@@ -366,11 +370,7 @@ impl OptimStoreDevice {
                         want: self.layout.params(),
                     })
                 }
-                None => {
-                    return Err(CoreError::ModeMismatch(
-                        "functional device needs gradients",
-                    ))
-                }
+                None => return Err(CoreError::ModeMismatch("functional device needs gradients")),
             }
         }
         self.step += 1;
@@ -385,8 +385,7 @@ impl OptimStoreDevice {
             group_count: self.layout.num_groups(),
             hyper: self.optimizer.hyper_wire(),
         };
-        let cmd = UpdateCommand::decode(&cmd.encode())
-            .expect("self-encoded command must decode");
+        let cmd = UpdateCommand::decode(&cmd.encode()).expect("self-encoded command must decode");
         debug_assert_eq!(cmd.step, self.step);
         debug_assert_eq!(cmd.hyper, self.optimizer.hyper_wire());
 
@@ -395,6 +394,7 @@ impl OptimStoreDevice {
         let ppg = self.layout.params_per_group() as usize;
         let mut step_end = at;
         let mut skipped = 0u64;
+        let mut groups_replayed = 0u64;
 
         // Groups are processed in *batches* of one group per die, and each
         // batch runs in two phases: (A) gradient delivery + operand reads +
@@ -428,203 +428,186 @@ impl OptimStoreDevice {
                 let channel = die_flat / self.device.config().dies_per_channel;
 
                 // ---- gradient delivery ---------------------------------
-            let grad_page: Option<Vec<u8>> = if functional {
-                let grads = grads.unwrap();
-                let start = group.param_start as usize;
-                let count = group.param_count as usize;
-                let mut page = encode_grads(&grads[start..start + count], self.spec.grad_dtype);
-                page.resize(pb, 0);
-                Some(page)
-            } else {
-                None
-            };
-            // Compressed gradients shrink the delivery stream: only the
-            // selected (index, value) pairs cross PCIe/DRAM/bus; the engine
-            // scatters them into a dense page in its buffer.
-            let grad_wire_bytes: u64 = match self.cfg.grad_topk_permille {
-                None => pb as u64,
-                Some(permille) => {
-                    let nnz = match &grad_page {
-                        Some(page) => page
-                            .chunks_exact(2)
-                            .filter(|c| c[0] != 0 || c[1] != 0)
-                            .count() as u64,
-                        None => {
-                            // Phantom: hot groups carry k‰ of their params.
-                            let hot = self
-                                .phantom_hot_groups
-                                .map(|h| g < h)
-                                .unwrap_or(true);
-                            if hot {
-                                group.param_count * permille as u64 / 1000
-                            } else {
-                                0
-                            }
-                        }
-                    };
-                    optim_math::compress::SPARSE_HEADER_BYTES
-                        + optim_math::compress::SPARSE_ENTRY_BYTES * nnz
-                }
-            };
-            let pcie = self.device.pcie_in_mut().transfer(at, grad_wire_bytes);
-            // Store-and-forward through controller DRAM (write + read).
-            let dram_in = self.device.dram_mut().transfer(pcie.end, grad_wire_bytes);
-            let dram = self.device.dram_mut().transfer(dram_in.end, grad_wire_bytes);
-            let grad_ready = match (self.cfg.grad_staging, self.cfg.tier) {
-                (GradStaging::Stream, ExecutionTier::DieNdp) => {
-                    // Stream over the channel bus into the die-side buffer.
-                    self.device
-                        .channel_mut(channel)
-                        .bus_mut()
-                        .transfer(dram.end, grad_wire_bytes)
-                        .end
-                }
-                (GradStaging::Stream, _) => dram.end,
-                (GradStaging::StoreToFlash, _) => {
-                    let lpn = self.layout.lpn(g, StateComponent::Grad, 0);
-                    self.device
-                        .internal_program(lpn, None, grad_page.as_deref(), dram.end, true)?
-                        .end
-                }
-            };
-
-            // ---- lazy skip: an all-zero gradient page leaves the
-            // group's state untouched (the engine merely scanned the
-            // gradient) -----------------------------------------------
-            let engine_idx = match self.cfg.tier {
-                ExecutionTier::DieNdp => die_flat as usize,
-                ExecutionTier::ChannelNdp => channel as usize,
-                ExecutionTier::HostNvme => unreachable!(),
-            };
-            if self.cfg.skip_zero_gradients {
-                let cold = match (&grad_page, self.phantom_hot_groups) {
-                    (Some(page), _) => page.iter().all(|&b| b == 0),
-                    (None, Some(hot)) => g >= hot,
-                    (None, None) => false,
+                let grad_page: Option<Vec<u8>> = if functional {
+                    let grads = grads.unwrap();
+                    let start = group.param_start as usize;
+                    let count = group.param_count as usize;
+                    let mut page = encode_grads(&grads[start..start + count], self.spec.grad_dtype);
+                    page.resize(pb, 0);
+                    Some(page)
+                } else {
+                    None
                 };
-                if cold {
-                    let scan = simkit::SimDuration::for_transfer(
-                        pb as u64,
-                        self.cfg.engine.bytes_per_sec,
-                    );
-                    let w = self.engines[engine_idx].acquire(grad_ready, scan);
-                    step_end = step_end.max(w.end);
-                    skipped += 1;
-                    continue;
-                }
-            }
-
-            // ---- operand reads -----------------------------------------
-            // Track operand readiness per sub-group (fp32 page-pair): the
-            // grad (and a staged grad page) feeds both.
-            let mut sub_start = [grad_ready; 2];
-            let mut read_pages: Vec<(StateComponent, u32, Option<Bytes>)> = Vec::new();
-            for (comp, idx) in self.layout.read_set() {
-                let lpn = self.layout.lpn(g, comp, idx);
-                let local = self.layout.is_local(g, comp, idx);
-                let (win, data) = match (self.cfg.tier, local) {
-                    (ExecutionTier::DieNdp, true) => {
-                        self.device.internal_read_array(lpn, at)?
+                // Compressed gradients shrink the delivery stream: only the
+                // selected (index, value) pairs cross PCIe/DRAM/bus; the engine
+                // scatters them into a dense page in its buffer.
+                let grad_wire_bytes: u64 = match self.cfg.grad_topk_permille {
+                    None => pb as u64,
+                    Some(permille) => {
+                        let nnz = match &grad_page {
+                            Some(page) => page
+                                .chunks_exact(2)
+                                .filter(|c| c[0] != 0 || c[1] != 0)
+                                .count() as u64,
+                            None => {
+                                // Phantom: hot groups carry k‰ of their params.
+                                let hot = self.phantom_hot_groups.map(|h| g < h).unwrap_or(true);
+                                if hot {
+                                    group.param_count * permille as u64 / 1000
+                                } else {
+                                    0
+                                }
+                            }
+                        };
+                        optim_math::compress::SPARSE_HEADER_BYTES
+                            + optim_math::compress::SPARSE_ENTRY_BYTES * nnz
                     }
-                    (ExecutionTier::DieNdp, false) => {
-                        // Remote operand: array + source bus, then hop over
-                        // the engine die's bus into its buffer.
-                        let (w, d) = self.device.internal_read_channel(lpn, at)?;
-                        let hop = self
-                            .device
+                };
+                let pcie = self.device.pcie_in_mut().transfer(at, grad_wire_bytes);
+                // Store-and-forward through controller DRAM (write + read).
+                let dram_in = self.device.dram_mut().transfer(pcie.end, grad_wire_bytes);
+                let dram = self
+                    .device
+                    .dram_mut()
+                    .transfer(dram_in.end, grad_wire_bytes);
+                let grad_ready = match (self.cfg.grad_staging, self.cfg.tier) {
+                    (GradStaging::Stream, ExecutionTier::DieNdp) => {
+                        // Stream over the channel bus into the die-side buffer.
+                        self.device
                             .channel_mut(channel)
                             .bus_mut()
-                            .transfer(w.end, pb as u64);
-                        (simkit::Window { start: w.start, end: hop.end }, d)
+                            .transfer(dram.end, grad_wire_bytes)
+                            .end
                     }
-                    (ExecutionTier::ChannelNdp, _) => {
-                        self.device.internal_read_channel(lpn, at)?
+                    (GradStaging::Stream, _) => dram.end,
+                    (GradStaging::StoreToFlash, _) => {
+                        let lpn = self.layout.lpn(g, StateComponent::Grad, 0);
+                        self.device
+                            .internal_program(lpn, None, grad_page.as_deref(), dram.end, true)?
+                            .end
                     }
-                    (ExecutionTier::HostNvme, _) => unreachable!(),
                 };
-                match comp {
-                    StateComponent::Grad => {
-                        sub_start[0] = sub_start[0].max(win.end);
-                        sub_start[1] = sub_start[1].max(win.end);
-                    }
-                    _ => {
-                        let k = (idx as usize).min(1);
-                        sub_start[k] = sub_start[k].max(win.end);
+
+                // ---- lazy skip: an all-zero gradient page leaves the
+                // group's state untouched (the engine merely scanned the
+                // gradient) -----------------------------------------------
+                let engine_idx = match self.cfg.tier {
+                    ExecutionTier::DieNdp => die_flat as usize,
+                    ExecutionTier::ChannelNdp => channel as usize,
+                    ExecutionTier::HostNvme => unreachable!(),
+                };
+                if self.cfg.skip_zero_gradients {
+                    let cold = match (&grad_page, self.phantom_hot_groups) {
+                        (Some(page), _) => page.iter().all(|&b| b == 0),
+                        (None, Some(hot)) => g >= hot,
+                        (None, None) => false,
+                    };
+                    if cold {
+                        let scan = simkit::SimDuration::for_transfer(
+                            pb as u64,
+                            self.cfg.engine.bytes_per_sec,
+                        );
+                        let w = self.engines[engine_idx].acquire(grad_ready, scan);
+                        step_end = step_end.max(w.end);
+                        skipped += 1;
+                        continue;
                     }
                 }
-                read_pages.push((comp, idx, data));
-            }
 
-            // ---- engine compute ----------------------------------------
-            let work_bytes =
-                (self.layout.read_set().len() + self.layout.write_set().len()) as u64
+                // ---- operand reads (with bounded group replay) -------------
+                // A read that stays uncorrectable after the device's own
+                // bounded retries surfaces here as
+                // [`SsdError::UncorrectableRead`]. Nothing of the group has
+                // been written back yet, so the executor replays the whole
+                // group: every operand is re-read (fresh sense attempts against
+                // fresh physical pages where recovery re-homed them) and the
+                // update recomputed — bit-exact, since operand reads have no
+                // side effects on state pages. Bounded by
+                // [`OptimStoreConfig::max_group_replays`].
+                let mut replays_left = self.cfg.max_group_replays;
+                let (read_pages, sub_start) = loop {
+                    match self.read_group_operands(g, channel, grad_ready, at) {
+                        Ok(ok) => break ok,
+                        Err(CoreError::Ssd(SsdError::UncorrectableRead { .. }))
+                            if replays_left > 0 =>
+                        {
+                            replays_left -= 1;
+                            groups_replayed += 1;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                };
+
+                // ---- engine compute ----------------------------------------
+                let work_bytes = (self.layout.read_set().len() + self.layout.write_set().len())
+                    as u64
                     * pb as u64;
-            let compute_ends: [SimTime; 2] = if self.cfg.engine.subgroup_pipelining {
-                let half = simkit::SimDuration::for_transfer(
-                    work_bytes / 2,
-                    self.cfg.engine.bytes_per_sec,
-                );
-                let c0 = self.engines[engine_idx].acquire(sub_start[0], half);
-                let c1 = self.engines[engine_idx].acquire(sub_start[1], half);
-                [c0.end, c1.end]
-            } else {
-                let service = simkit::SimDuration::for_transfer(
-                    work_bytes,
-                    self.cfg.engine.bytes_per_sec,
-                );
-                let whole = self.engines[engine_idx]
-                    .acquire(sub_start[0].max(sub_start[1]), service);
-                [whole.end, whole.end]
-            };
-
-            // ---- functional update -------------------------------------
-            let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
-            if functional {
-                let find = |comp: StateComponent, idx: u32| -> &Bytes {
-                    read_pages
-                        .iter()
-                        .find(|(c, i, _)| *c == comp && *i == idx)
-                        .and_then(|(_, _, d)| d.as_ref())
-                        .expect("functional read returns data")
-                };
-                let mut w32 = Vec::with_capacity(2 * pb);
-                w32.extend_from_slice(find(StateComponent::Master, 0));
-                w32.extend_from_slice(find(StateComponent::Master, 1));
-                let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
-                    .map(|s| {
-                        let mut b = Vec::with_capacity(2 * pb);
-                        b.extend_from_slice(find(StateComponent::Slot(s), 0));
-                        b.extend_from_slice(find(StateComponent::Slot(s), 1));
-                        b
-                    })
-                    .collect();
-                let grad_bytes: Vec<u8> = if self.layout.grad_staged() {
-                    find(StateComponent::Grad, 0).to_vec()
+                let compute_ends: [SimTime; 2] = if self.cfg.engine.subgroup_pipelining {
+                    let half = simkit::SimDuration::for_transfer(
+                        work_bytes / 2,
+                        self.cfg.engine.bytes_per_sec,
+                    );
+                    let c0 = self.engines[engine_idx].acquire(sub_start[0], half);
+                    let c1 = self.engines[engine_idx].acquire(sub_start[1], half);
+                    [c0.end, c1.end]
                 } else {
-                    grad_page.clone().expect("streamed grads present")
+                    let service = simkit::SimDuration::for_transfer(
+                        work_bytes,
+                        self.cfg.engine.bytes_per_sec,
+                    );
+                    let whole =
+                        self.engines[engine_idx].acquire(sub_start[0].max(sub_start[1]), service);
+                    [whole.end, whole.end]
                 };
-                let mut w16 = vec![0u8; pb];
-                let mut slot_refs: Vec<&mut [u8]> =
-                    slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                update_chunk(
-                    self.optimizer.as_ref(),
-                    &mut w32,
-                    &mut slot_refs,
-                    &grad_bytes,
-                    &mut w16,
-                    cmd.grad_dtype,
-                    cmd.step,
-                )
-                .expect("layout-derived buffers are consistent");
-                new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
-                new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
-                for (s, buf) in slot_bufs.iter().enumerate() {
-                    new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
-                    new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
+
+                // ---- functional update -------------------------------------
+                let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
+                if functional {
+                    let find = |comp: StateComponent, idx: u32| -> &Bytes {
+                        read_pages
+                            .iter()
+                            .find(|(c, i, _)| *c == comp && *i == idx)
+                            .and_then(|(_, _, d)| d.as_ref())
+                            .expect("functional read returns data")
+                    };
+                    let mut w32 = Vec::with_capacity(2 * pb);
+                    w32.extend_from_slice(find(StateComponent::Master, 0));
+                    w32.extend_from_slice(find(StateComponent::Master, 1));
+                    let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
+                        .map(|s| {
+                            let mut b = Vec::with_capacity(2 * pb);
+                            b.extend_from_slice(find(StateComponent::Slot(s), 0));
+                            b.extend_from_slice(find(StateComponent::Slot(s), 1));
+                            b
+                        })
+                        .collect();
+                    let grad_bytes: Vec<u8> = if self.layout.grad_staged() {
+                        find(StateComponent::Grad, 0).to_vec()
+                    } else {
+                        grad_page.clone().expect("streamed grads present")
+                    };
+                    let mut w16 = vec![0u8; pb];
+                    let mut slot_refs: Vec<&mut [u8]> =
+                        slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
+                    update_chunk(
+                        self.optimizer.as_ref(),
+                        &mut w32,
+                        &mut slot_refs,
+                        &grad_bytes,
+                        &mut w16,
+                        cmd.grad_dtype,
+                        cmd.step,
+                    )
+                    .expect("layout-derived buffers are consistent");
+                    new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
+                    new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
+                    for (s, buf) in slot_bufs.iter().enumerate() {
+                        new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
+                        new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
+                    }
+                    new_pages.push((StateComponent::Weight16, 0, w16));
+                    let _ = ppg;
                 }
-                new_pages.push((StateComponent::Weight16, 0, w16));
-                let _ = ppg;
-            }
 
                 pending.push(PendingWrite {
                     g,
@@ -672,8 +655,9 @@ impl OptimStoreDevice {
                         (ExecutionTier::ChannelNdp, _) => (ready, true),
                         (ExecutionTier::HostNvme, _) => unreachable!(),
                     };
-                    let win =
-                        self.device.internal_program(lpn, None, data, start_at, cross_bus)?;
+                    let win = self
+                        .device
+                        .internal_program(lpn, None, data, start_at, cross_bus)?;
                     step_end = step_end.max(win.end);
                 }
             }
@@ -681,14 +665,73 @@ impl OptimStoreDevice {
         }
 
         let after = self.snapshot();
-        Ok(self.make_report(at, step_end, before, after, skipped))
+        Ok(self.make_report(at, step_end, before, after, skipped, groups_replayed))
+    }
+
+    /// Issues every operand read of update group `g`, returning the pages
+    /// read and the per-sub-group readiness times (earliest engine start).
+    /// Re-invoked verbatim by `run_step`'s replay loop when a read
+    /// surfaces an uncorrectable media fault.
+    #[allow(clippy::type_complexity)]
+    fn read_group_operands(
+        &mut self,
+        g: u64,
+        channel: u32,
+        grad_ready: SimTime,
+        at: SimTime,
+    ) -> Result<(Vec<(StateComponent, u32, Option<Bytes>)>, [SimTime; 2]), CoreError> {
+        let pb = self.page_bytes();
+        // Track operand readiness per sub-group (fp32 page-pair): the grad
+        // (and a staged grad page) feeds both.
+        let mut sub_start = [grad_ready; 2];
+        let mut read_pages: Vec<(StateComponent, u32, Option<Bytes>)> = Vec::new();
+        for (comp, idx) in self.layout.read_set() {
+            let lpn = self.layout.lpn(g, comp, idx);
+            let local = self.layout.is_local(g, comp, idx);
+            let (win, data) = match (self.cfg.tier, local) {
+                (ExecutionTier::DieNdp, true) => self.device.internal_read_array(lpn, at)?,
+                (ExecutionTier::DieNdp, false) => {
+                    // Remote operand: array + source bus, then hop over
+                    // the engine die's bus into its buffer.
+                    let (w, d) = self.device.internal_read_channel(lpn, at)?;
+                    let hop = self
+                        .device
+                        .channel_mut(channel)
+                        .bus_mut()
+                        .transfer(w.end, pb as u64);
+                    (
+                        simkit::Window {
+                            start: w.start,
+                            end: hop.end,
+                        },
+                        d,
+                    )
+                }
+                (ExecutionTier::ChannelNdp, _) => self.device.internal_read_channel(lpn, at)?,
+                (ExecutionTier::HostNvme, _) => unreachable!(),
+            };
+            match comp {
+                StateComponent::Grad => {
+                    sub_start[0] = sub_start[0].max(win.end);
+                    sub_start[1] = sub_start[1].max(win.end);
+                }
+                _ => {
+                    let k = (idx as usize).min(1);
+                    sub_start[k] = sub_start[k].max(win.end);
+                }
+            }
+            read_pages.push((comp, idx, data));
+        }
+        Ok((read_pages, sub_start))
     }
 
     /// Reads back the fp32 master weights (functional mode, for
     /// verification). Timing is incidental — this is a debug path.
     pub fn read_master_weights(&mut self, at: SimTime) -> Result<Vec<f32>, CoreError> {
         if !self.device.is_functional() {
-            return Err(CoreError::ModeMismatch("read_master_weights needs functional mode"));
+            return Err(CoreError::ModeMismatch(
+                "read_master_weights needs functional mode",
+            ));
         }
         let pb = self.page_bytes();
         let mut out = Vec::with_capacity(self.layout.params() as usize);
@@ -701,7 +744,9 @@ impl OptimStoreDevice {
                 raw.extend_from_slice(&data.expect("functional device has data"));
             }
             for i in 0..group.param_count as usize {
-                out.push(f32::from_le_bytes(raw[4 * i..4 * i + 4].try_into().unwrap()));
+                out.push(f32::from_le_bytes(
+                    raw[4 * i..4 * i + 4].try_into().unwrap(),
+                ));
             }
         }
         Ok(out)
@@ -711,7 +756,9 @@ impl OptimStoreDevice {
     /// mode).
     pub fn read_weights16(&mut self, at: SimTime) -> Result<Vec<f32>, CoreError> {
         if !self.device.is_functional() {
-            return Err(CoreError::ModeMismatch("read_weights16 needs functional mode"));
+            return Err(CoreError::ModeMismatch(
+                "read_weights16 needs functional mode",
+            ));
         }
         let mut out = Vec::with_capacity(self.layout.params() as usize);
         for g in 0..self.layout.num_groups() {
@@ -780,6 +827,7 @@ impl OptimStoreDevice {
         before: CounterSnapshot,
         after: CounterSnapshot,
         groups_skipped: u64,
+        groups_replayed: u64,
     ) -> StepReport {
         let traffic = TrafficBytes {
             pcie_in: after.pcie_in - before.pcie_in,
@@ -813,6 +861,7 @@ impl OptimStoreDevice {
             gc_copies: after.gc_copies - before.gc_copies,
             groups_total: self.layout.num_groups(),
             groups_skipped,
+            groups_replayed,
         }
     }
 }
@@ -820,10 +869,10 @@ impl OptimStoreDevice {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::LayoutPolicy;
+    use optim_math::kernels::StateBuffers;
     use optim_math::state::GradDtype;
     use optim_math::{Adam, OptimizerKind};
-    use optim_math::kernels::StateBuffers;
-    use crate::config::LayoutPolicy;
 
     fn spec() -> StateLayoutSpec {
         StateLayoutSpec::new(OptimizerKind::Adam, GradDtype::F16)
@@ -871,7 +920,9 @@ mod tests {
     fn functional_step_matches_reference_bit_exactly() {
         let params = 10_000usize;
         let weights: Vec<f32> = (0..params).map(|i| (i as f32 * 0.01).sin()).collect();
-        let grads: Vec<f32> = (0..params).map(|i| (i as f32 * 0.007).cos() * 0.1).collect();
+        let grads: Vec<f32> = (0..params)
+            .map(|i| (i as f32 * 0.007).cos() * 0.1)
+            .collect();
 
         let mut dev = functional(params as u64);
         let t0 = dev.load_weights(&weights, SimTime::ZERO).unwrap();
@@ -884,8 +935,12 @@ mod tests {
         let adam = Adam::default();
         let mut reference = StateBuffers::init(&adam, &weights, GradDtype::F16);
         let grad_bytes = encode_grads(&grads, GradDtype::F16);
-        reference.step(&adam, &grad_bytes, GradDtype::F16, 1).unwrap();
-        reference.step(&adam, &grad_bytes, GradDtype::F16, 2).unwrap();
+        reference
+            .step(&adam, &grad_bytes, GradDtype::F16, 1)
+            .unwrap();
+        reference
+            .step(&adam, &grad_bytes, GradDtype::F16, 2)
+            .unwrap();
         let expect = reference.weights_f32();
 
         assert_eq!(got.len(), expect.len());
@@ -896,12 +951,107 @@ mod tests {
         // Working weights are the narrowed masters.
         let w16 = dev.read_weights16(r2.end).unwrap();
         for (i, (w, e)) in w16.iter().zip(&expect).enumerate() {
-            assert_eq!(
-                w.to_bits(),
-                F16::from_f32(*e).to_f32().to_bits(),
-                "w16 {i}"
-            );
+            assert_eq!(w.to_bits(), F16::from_f32(*e).to_f32().to_bits(), "w16 {i}");
         }
+    }
+
+    #[test]
+    fn uncorrectable_operand_reads_replay_bit_exactly() {
+        let params = 10_000usize;
+        let weights: Vec<f32> = (0..params).map(|i| (i as f32 * 0.01).sin()).collect();
+        let grads: Vec<f32> = (0..params)
+            .map(|i| (i as f32 * 0.007).cos() * 0.1)
+            .collect();
+
+        // A raw fault rate of 0.55 makes a read stay uncorrectable through
+        // the device's 5 sense attempts with probability 0.55^5 ≈ 5% — high
+        // enough to exercise the replay path, low enough that a generous
+        // replay bound always recovers. Seeded, hence deterministic.
+        let fault = ssdsim::FaultConfig {
+            seed: 11,
+            program_fail: 0.0,
+            erase_fail: 0.0,
+            read_uncorrectable: 0.55,
+            wear_coupling: false,
+        };
+        let cfg = OptimStoreConfig {
+            max_group_replays: 16,
+            ..OptimStoreConfig::die_ndp()
+        };
+        let mut dev = OptimStoreDevice::new_functional(
+            SsdConfig::tiny().with_fault(fault),
+            cfg,
+            params as u64,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap();
+        let t0 = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+        let r1 = dev.run_step(Some(&grads), t0).unwrap();
+        let r2 = dev.run_step(Some(&grads), r1.end).unwrap();
+
+        // The faults really surfaced and the executor masked every one.
+        assert!(
+            r1.groups_replayed + r2.groups_replayed > 0,
+            "seed/rate chosen so at least one group replays"
+        );
+        assert!(dev.ssd().stats().uncorrectable_reads.get() > 0);
+
+        // The readback path is a debug path without replay; retry it the
+        // same way a caller with redundancy would.
+        let got = (0..100)
+            .find_map(|_| match dev.read_master_weights(r2.end) {
+                Ok(w) => Some(w),
+                Err(CoreError::Ssd(SsdError::UncorrectableRead { .. })) => None,
+                Err(e) => panic!("unexpected error: {e}"),
+            })
+            .expect("readback recovers within 100 attempts");
+
+        let adam = Adam::default();
+        let mut reference = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        let grad_bytes = encode_grads(&grads, GradDtype::F16);
+        reference
+            .step(&adam, &grad_bytes, GradDtype::F16, 1)
+            .unwrap();
+        reference
+            .step(&adam, &grad_bytes, GradDtype::F16, 2)
+            .unwrap();
+        let expect = reference.weights_f32();
+        assert_eq!(got.len(), expect.len());
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(g.to_bits(), e.to_bits(), "param {i}: {g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn replay_exhaustion_surfaces_the_typed_error() {
+        // Rate 1.0: every sense attempt fails, so every operand read
+        // exhausts the device retries and every replay fails too.
+        let fault = ssdsim::FaultConfig {
+            seed: 3,
+            program_fail: 0.0,
+            erase_fail: 0.0,
+            read_uncorrectable: 1.0,
+            wear_coupling: false,
+        };
+        let cfg = OptimStoreConfig {
+            max_group_replays: 1,
+            ..OptimStoreConfig::die_ndp()
+        };
+        let mut dev = OptimStoreDevice::new_functional(
+            SsdConfig::tiny().with_fault(fault),
+            cfg,
+            1000,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap();
+        let t0 = dev.load_weights(&vec![0.5; 1000], SimTime::ZERO).unwrap();
+        let err = dev.run_step(Some(&vec![0.1; 1000]), t0).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Ssd(SsdError::UncorrectableRead { .. })),
+            "{err}"
+        );
     }
 
     #[test]
@@ -937,6 +1087,8 @@ mod tests {
         );
         assert_eq!(r.params, params);
         assert!(r.energy.total() > 0.0);
+        // No fault config armed: nothing to replay.
+        assert_eq!(r.groups_replayed, 0);
     }
 
     #[test]
@@ -1137,9 +1289,9 @@ mod tests {
         let pcie_before = dev.ssd().pcie_out().bytes_moved();
         let (end, bytes) = dev.checkpoint(t0).unwrap();
         assert!(end > t0);
-        let expected =
-            dev.layout().num_groups() * dev.layout().write_set().len() as u64
-                * dev.ssd().page_bytes() as u64;
+        let expected = dev.layout().num_groups()
+            * dev.layout().write_set().len() as u64
+            * dev.ssd().page_bytes() as u64;
         assert_eq!(bytes, expected);
         assert_eq!(dev.ssd().pcie_out().bytes_moved() - pcie_before, bytes);
     }

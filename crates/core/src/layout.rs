@@ -93,7 +93,10 @@ impl StateLayout {
         dies: u32,
         grad_staged: bool,
     ) -> Self {
-        assert!(page_bytes % 4 == 0 && page_bytes > 0, "bad page size");
+        assert!(
+            page_bytes.is_multiple_of(4) && page_bytes > 0,
+            "bad page size"
+        );
         assert!(dies > 0, "need at least one die");
         StateLayout {
             policy,
@@ -136,9 +139,7 @@ impl StateLayout {
                     * self.lpns_per_group() as u64
                     * self.dies as u64
             }
-            LayoutPolicy::TensorStriped => {
-                self.num_groups() * self.lpns_per_group() as u64
-            }
+            LayoutPolicy::TensorStriped => self.num_groups() * self.lpns_per_group() as u64,
         }
     }
 
@@ -228,16 +229,11 @@ impl StateLayout {
                 let groups = self.num_groups();
                 let (base, within) = match component {
                     StateComponent::Master => (0, 2 * g + idx as u64),
-                    StateComponent::Slot(s) => (
-                        2 * groups + 2 * groups * s as u64,
-                        2 * g + idx as u64,
-                    ),
-                    StateComponent::Weight16 => {
-                        (2 * groups * (1 + self.slots as u64), g)
+                    StateComponent::Slot(s) => {
+                        (2 * groups + 2 * groups * s as u64, 2 * g + idx as u64)
                     }
-                    StateComponent::Grad => {
-                        (2 * groups * (1 + self.slots as u64) + groups, g)
-                    }
+                    StateComponent::Weight16 => (2 * groups * (1 + self.slots as u64), g),
+                    StateComponent::Grad => (2 * groups * (1 + self.slots as u64) + groups, g),
                 };
                 Lpn(base + within)
             }
@@ -403,9 +399,7 @@ mod tests {
     fn required_pages_bounds_all_lpns() {
         for l in [co(30_000, 4), striped(30_000, 4)] {
             let max_lpn = (0..l.num_groups())
-                .flat_map(|g| {
-                    l.write_set().into_iter().map(move |(c, i)| (g, c, i))
-                })
+                .flat_map(|g| l.write_set().into_iter().map(move |(c, i)| (g, c, i)))
                 .map(|(g, c, i)| l.lpn(g, c, i).0)
                 .max()
                 .unwrap();

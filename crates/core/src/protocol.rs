@@ -217,7 +217,10 @@ mod tests {
         );
         let mut wire = cmd().encode();
         wire[7] = 9;
-        assert_eq!(UpdateCommand::decode(&wire), Err(ProtocolError::BadDtype(9)));
+        assert_eq!(
+            UpdateCommand::decode(&wire),
+            Err(ProtocolError::BadDtype(9))
+        );
     }
 
     #[test]

@@ -53,6 +53,10 @@ pub struct StepReport {
     pub groups_total: u64,
     /// Groups skipped by the zero-gradient (lazy) path.
     pub groups_skipped: u64,
+    /// Replay attempts performed after uncorrectable operand reads (each
+    /// re-reads a group's operands and recomputes its update; see
+    /// [`crate::config::OptimStoreConfig::max_group_replays`]).
+    pub groups_replayed: u64,
 }
 
 impl StepReport {
@@ -108,6 +112,7 @@ mod tests {
             gc_copies: 0,
             groups_total: 10,
             groups_skipped: 0,
+            groups_replayed: 0,
         }
     }
 

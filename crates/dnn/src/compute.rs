@@ -83,9 +83,7 @@ mod tests {
     #[test]
     fn v100_is_slower_than_a100() {
         let m = zoo::gpt2_xl();
-        assert!(
-            GpuSpec::v100().iteration_time(&m, 1) > GpuSpec::a100().iteration_time(&m, 1)
-        );
+        assert!(GpuSpec::v100().iteration_time(&m, 1) > GpuSpec::a100().iteration_time(&m, 1));
     }
 
     #[test]

@@ -33,11 +33,7 @@ impl IterationBreakdown {
     ///
     /// # Panics
     /// Panics if `overlap_permille > 1000`.
-    pub fn overlapped(
-        compute: SimDuration,
-        optimizer: SimDuration,
-        overlap_permille: u16,
-    ) -> Self {
+    pub fn overlapped(compute: SimDuration, optimizer: SimDuration, overlap_permille: u16) -> Self {
         assert!(overlap_permille <= 1000, "overlap is a per-mille fraction");
         IterationBreakdown {
             compute,
@@ -87,10 +83,8 @@ mod tests {
 
     #[test]
     fn synchronous_total_is_sum() {
-        let b = IterationBreakdown::synchronous(
-            SimDuration::from_ms(100),
-            SimDuration::from_ms(300),
-        );
+        let b =
+            IterationBreakdown::synchronous(SimDuration::from_ms(100), SimDuration::from_ms(300));
         assert_eq!(b.total(), SimDuration::from_ms(400));
         assert!((b.optimizer_share() - 0.75).abs() < 1e-9);
     }
@@ -120,10 +114,8 @@ mod tests {
 
     #[test]
     fn speedup_with_faster_optimizer() {
-        let b = IterationBreakdown::synchronous(
-            SimDuration::from_ms(100),
-            SimDuration::from_ms(300),
-        );
+        let b =
+            IterationBreakdown::synchronous(SimDuration::from_ms(100), SimDuration::from_ms(300));
         let s = b.speedup_with(SimDuration::from_ms(50));
         assert!((s - 400.0 / 150.0).abs() < 1e-9);
     }
@@ -131,11 +123,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "per-mille")]
     fn overlap_over_1000_panics() {
-        let _ = IterationBreakdown::overlapped(
-            SimDuration::from_ms(1),
-            SimDuration::from_ms(1),
-            1001,
-        );
+        let _ =
+            IterationBreakdown::overlapped(SimDuration::from_ms(1), SimDuration::from_ms(1), 1001);
     }
 
     #[test]

@@ -75,7 +75,11 @@ impl TransformerConfig {
         let mut out = Vec::new();
         let mut offset = 0u64;
         let mut push = |out: &mut Vec<LayerShape>, name: String, params: u64| {
-            out.push(LayerShape { name, offset, params });
+            out.push(LayerShape {
+                name,
+                offset,
+                params,
+            });
             offset += params;
         };
         push(&mut out, "embed.token".into(), self.vocab as u64 * h);

@@ -40,7 +40,10 @@ impl OnfiBus {
         let overhead_bytes = self.overhead_bytes();
         if overhead_bytes > 0 {
             let w2 = self.link.transfer(w.end, overhead_bytes);
-            Window { start: w.start, end: w2.end }
+            Window {
+                start: w.start,
+                end: w2.end,
+            }
         } else {
             w
         }

@@ -2,6 +2,7 @@
 //! functional data, and wear accounting.
 
 use crate::error::NandError;
+use crate::fault::{FaultConfig, FaultInjector, FaultStats};
 use crate::geometry::{BlockAddr, PhysPage};
 use crate::store::{new_block_table, Backing, BlockState, PageState};
 use crate::timing::NandConfig;
@@ -42,6 +43,9 @@ pub struct Die {
     backing: Backing,
     stats: DieStats,
     rber: RberModel,
+    /// Seeded fault source; `None` (the default) means the fault-free
+    /// path performs no draws and stays bit-identical to a faultless die.
+    fault: Option<FaultInjector>,
 }
 
 impl Die {
@@ -68,7 +72,19 @@ impl Die {
             backing,
             stats: DieStats::default(),
             rber: RberModel::for_cell(config.cell),
+            fault: None,
         }
+    }
+
+    /// Arms deterministic fault injection: the die derives its own stream
+    /// from `cfg.seed` and its id. Passing an inactive config disarms it.
+    pub fn set_fault_config(&mut self, cfg: FaultConfig) {
+        self.fault = cfg.is_active().then(|| FaultInjector::new(cfg, self.id));
+    }
+
+    /// Injected-fault counters, when fault injection is armed.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.fault.as_ref().map(FaultInjector::stats)
     }
 
     /// Die identifier (assigned by the channel that owns it).
@@ -155,6 +171,17 @@ impl Die {
         self.stats
             .bytes_read
             .add(self.config.geometry.page_bytes as u64);
+        let rber = self.rber.rber(block.erase_count());
+        if let Some(fault) = &mut self.fault {
+            if fault.roll_read(rber, self.rber.ecc_ceiling) {
+                // The sense (and its retries) consumed the plane, but the
+                // ECC could not converge: no data leaves the die.
+                return Err(NandError::ReadUncorrectable {
+                    page: p,
+                    busy_until: win.end,
+                });
+            }
+        }
         let data = if self.backing.is_functional() {
             let idx = self.config.geometry.page_index(p);
             // A programmed page in functional mode must have contents.
@@ -210,9 +237,22 @@ impl Die {
             return Err(NandError::NoData(p));
         }
         let win = self.planes[p.plane as usize].acquire(at, self.config.timing.t_program);
+        let rber = self.rber.rber(self.blocks[block_idx].erase_count());
+        if let Some(fault) = &mut self.fault {
+            if fault.roll_program(rber, self.rber.ecc_ceiling) {
+                // Bad program status: the plane was occupied for the full
+                // tPROG but the page holds nothing usable. The caller must
+                // treat the block as bad and re-home the page.
+                return Err(NandError::ProgramFailed {
+                    page: p,
+                    busy_until: win.end,
+                });
+            }
+        }
         self.blocks[block_idx].mark_programmed(p.page);
         if let Some(d) = data {
-            self.backing.put(geo.page_index(p), Bytes::copy_from_slice(d));
+            self.backing
+                .put(geo.page_index(p), Bytes::copy_from_slice(d));
         }
         self.stats.programs.incr();
         self.stats.bytes_programmed.add(geo.page_bytes as u64);
@@ -234,6 +274,17 @@ impl Die {
             return Err(NandError::WornOut(b));
         }
         let win = self.planes[b.plane as usize].acquire(at, self.config.timing.t_erase);
+        let rber = self.rber.rber(self.blocks[block_idx].erase_count());
+        if let Some(fault) = &mut self.fault {
+            if fault.roll_erase(rber, self.rber.ecc_ceiling) {
+                // Bad erase status: the block keeps its stale contents and
+                // must be retired by the caller.
+                return Err(NandError::EraseFailed {
+                    block: b,
+                    busy_until: win.end,
+                });
+            }
+        }
         self.blocks[block_idx].mark_erased();
         for page in 0..geo.pages_per_block {
             self.backing.remove(geo.page_index(b.page(page)));
@@ -255,7 +306,11 @@ impl Die {
 
     /// Maximum erase count across all blocks (wear-levelling metric).
     pub fn max_erase_count(&self) -> u64 {
-        self.blocks.iter().map(BlockState::erase_count).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(BlockState::erase_count)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total erases across all blocks.
@@ -266,6 +321,11 @@ impl Die {
     /// Iterates `(flat_block_index, &BlockState)`.
     pub fn iter_blocks(&self) -> impl Iterator<Item = (u64, &BlockState)> {
         self.blocks.iter().enumerate().map(|(i, b)| (i as u64, b))
+    }
+
+    /// Retired blocks on this die.
+    pub fn retired_blocks(&self) -> u64 {
+        self.blocks.iter().filter(|b| b.is_retired()).count() as u64
     }
 }
 
@@ -305,8 +365,17 @@ mod tests {
     #[test]
     fn read_of_unwritten_page_fails() {
         let mut d = die();
-        let err = d.read_page(page_of(&d, 0, 0, 0), SimTime::ZERO).unwrap_err();
-        assert_eq!(err, NandError::ReadUnwritten(PhysPage { plane: 0, block: 0, page: 0 }));
+        let err = d
+            .read_page(page_of(&d, 0, 0, 0), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NandError::ReadUnwritten(PhysPage {
+                plane: 0,
+                block: 0,
+                page: 0
+            })
+        );
     }
 
     #[test]
@@ -315,17 +384,23 @@ mod tests {
         let err = d
             .program_page(page_of(&d, 0, 0, 5), SimTime::ZERO, Some(&fill(&d, 0)))
             .unwrap_err();
-        assert!(matches!(err, NandError::OutOfOrderProgram { expected: 0, .. }));
+        assert!(matches!(
+            err,
+            NandError::OutOfOrderProgram { expected: 0, .. }
+        ));
     }
 
     #[test]
     fn reprogram_fails() {
         let mut d = die();
         let p = page_of(&d, 0, 0, 0);
-        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 1))).unwrap();
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 1)))
+            .unwrap();
         d.program_page(page_of(&d, 0, 0, 1), SimTime::ZERO, Some(&fill(&d, 2)))
             .unwrap();
-        let err = d.program_page(p, SimTime::ZERO, Some(&fill(&d, 3))).unwrap_err();
+        let err = d
+            .program_page(p, SimTime::ZERO, Some(&fill(&d, 3)))
+            .unwrap_err();
         assert_eq!(err, NandError::Reprogram(p));
     }
 
@@ -341,14 +416,20 @@ mod tests {
     #[test]
     fn functional_mode_requires_data() {
         let mut d = die();
-        let err = d.program_page(page_of(&d, 0, 0, 0), SimTime::ZERO, None).unwrap_err();
+        let err = d
+            .program_page(page_of(&d, 0, 0, 0), SimTime::ZERO, None)
+            .unwrap_err();
         assert!(matches!(err, NandError::NoData(_)));
     }
 
     #[test]
     fn phantom_mode_allows_dataless_programs() {
         let mut d = Die::new(0, NandConfig::tiny_test_die());
-        let p = PhysPage { plane: 0, block: 0, page: 0 };
+        let p = PhysPage {
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
         d.program_page(p, SimTime::ZERO, None).unwrap();
         let (_, data) = d.read_page(p, SimTime::ZERO).unwrap();
         assert_eq!(data, None);
@@ -358,7 +439,8 @@ mod tests {
     fn erase_resets_block_and_discards_data() {
         let mut d = die();
         let p = page_of(&d, 0, 3, 0);
-        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 9))).unwrap();
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 9)))
+            .unwrap();
         let w = d
             .erase_block(BlockAddr { plane: 0, block: 3 }, SimTime::ZERO)
             .unwrap();
@@ -368,7 +450,8 @@ mod tests {
             NandError::ReadUnwritten(_)
         ));
         // Programmable again from page 0.
-        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 10))).unwrap();
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 10)))
+            .unwrap();
     }
 
     #[test]
@@ -394,12 +477,25 @@ mod tests {
     fn tlc_read_latency_depends_on_page_type() {
         let mut d = die();
         for pg in 0..3 {
-            d.program_page(page_of(&d, 0, 0, pg), SimTime::ZERO, Some(&fill(&d, pg as u8)))
-                .unwrap();
+            d.program_page(
+                page_of(&d, 0, 0, pg),
+                SimTime::ZERO,
+                Some(&fill(&d, pg as u8)),
+            )
+            .unwrap();
         }
-        let t0 = d.read_page(page_of(&d, 0, 0, 0), SimTime::from_secs(1)).unwrap().0;
-        let t1 = d.read_page(page_of(&d, 0, 0, 1), SimTime::from_secs(2)).unwrap().0;
-        let t2 = d.read_page(page_of(&d, 0, 0, 2), SimTime::from_secs(3)).unwrap().0;
+        let t0 = d
+            .read_page(page_of(&d, 0, 0, 0), SimTime::from_secs(1))
+            .unwrap()
+            .0;
+        let t1 = d
+            .read_page(page_of(&d, 0, 0, 1), SimTime::from_secs(2))
+            .unwrap()
+            .0;
+        let t2 = d
+            .read_page(page_of(&d, 0, 0, 2), SimTime::from_secs(3))
+            .unwrap()
+            .0;
         assert_eq!(t0.duration(), SimDuration::from_us(40));
         assert_eq!(t1.duration(), SimDuration::from_us(60));
         assert_eq!(t2.duration(), SimDuration::from_us(85));
@@ -420,7 +516,10 @@ mod tests {
             d.erase_block(b, SimTime::ZERO).unwrap();
         }
         assert!(d.block(b).unwrap().is_retired());
-        assert_eq!(d.erase_block(b, SimTime::ZERO).unwrap_err(), NandError::WornOut(b));
+        assert_eq!(
+            d.erase_block(b, SimTime::ZERO).unwrap_err(),
+            NandError::WornOut(b)
+        );
         assert_eq!(d.max_erase_count(), rated);
         assert_eq!(d.total_erases(), rated);
     }
@@ -429,10 +528,23 @@ mod tests {
     fn bad_addresses_rejected() {
         let mut d = die();
         let geo = d.config().geometry;
-        let bad = PhysPage { plane: geo.planes, block: 0, page: 0 };
-        assert!(matches!(d.read_page(bad, SimTime::ZERO), Err(NandError::BadAddress(_))));
+        let bad = PhysPage {
+            plane: geo.planes,
+            block: 0,
+            page: 0,
+        };
         assert!(matches!(
-            d.erase_block(BlockAddr { plane: 0, block: geo.blocks_per_plane }, SimTime::ZERO),
+            d.read_page(bad, SimTime::ZERO),
+            Err(NandError::BadAddress(_))
+        ));
+        assert!(matches!(
+            d.erase_block(
+                BlockAddr {
+                    plane: 0,
+                    block: geo.blocks_per_plane
+                },
+                SimTime::ZERO
+            ),
             Err(NandError::BadBlock(_))
         ));
     }
@@ -441,7 +553,8 @@ mod tests {
     fn worn_blocks_read_slower_via_retries() {
         let mut d = die();
         let p0 = page_of(&d, 0, 0, 0);
-        d.program_page(p0, SimTime::ZERO, Some(&fill(&d, 1))).unwrap();
+        d.program_page(p0, SimTime::ZERO, Some(&fill(&d, 1)))
+            .unwrap();
         let fresh = d.read_page(p0, SimTime::from_secs(1)).unwrap().0.duration();
         // Age to rated endurance: reads need several retries.
         d.simulate_wear(d.config().cell.rated_pe_cycles());
@@ -452,7 +565,9 @@ mod tests {
         );
         // Programs are unaffected by the retry model.
         let p1 = page_of(&d, 0, 0, 1);
-        let w = d.program_page(p1, SimTime::from_secs(3), Some(&fill(&d, 2))).unwrap();
+        let w = d
+            .program_page(p1, SimTime::from_secs(3), Some(&fill(&d, 2)))
+            .unwrap();
         assert_eq!(w.duration(), d.config().timing.t_program);
     }
 
@@ -463,5 +578,108 @@ mod tests {
         // Still programmable.
         d.program_page(page_of(&d, 0, 0, 0), SimTime::ZERO, Some(&fill(&d, 0)))
             .unwrap();
+    }
+
+    #[test]
+    fn injected_program_failure_charges_plane_and_writes_nothing() {
+        let mut d = die();
+        d.set_fault_config(crate::fault::FaultConfig {
+            seed: 1,
+            program_fail: 1.0,
+            erase_fail: 0.0,
+            read_uncorrectable: 0.0,
+            wear_coupling: false,
+        });
+        let p = page_of(&d, 0, 0, 0);
+        let err = d
+            .program_page(p, SimTime::ZERO, Some(&fill(&d, 7)))
+            .unwrap_err();
+        let busy = match err {
+            NandError::ProgramFailed { page, busy_until } => {
+                assert_eq!(page, p);
+                busy_until
+            }
+            other => panic!("expected ProgramFailed, got {other:?}"),
+        };
+        // The failed attempt occupied the plane for a full tPROG.
+        assert_eq!(busy, SimTime::ZERO + d.config().timing.t_program);
+        assert_eq!(d.plane_free_at(0), busy);
+        // Nothing was written: page 0 is still the next programmable page.
+        assert_eq!(
+            d.block(BlockAddr { plane: 0, block: 0 })
+                .unwrap()
+                .next_programmable(),
+            Some(0)
+        );
+        assert_eq!(d.fault_stats().unwrap().program_failures, 1);
+    }
+
+    #[test]
+    fn injected_erase_failure_keeps_block_state() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 3)))
+            .unwrap();
+        d.set_fault_config(crate::fault::FaultConfig {
+            seed: 1,
+            program_fail: 0.0,
+            erase_fail: 1.0,
+            read_uncorrectable: 0.0,
+            wear_coupling: false,
+        });
+        let b = BlockAddr { plane: 0, block: 0 };
+        let err = d.erase_block(b, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, NandError::EraseFailed { block, .. } if block == b));
+        // The block did not reset: its data is still readable.
+        let (_, data) = d.read_page(p, SimTime::ZERO).unwrap();
+        assert_eq!(data.unwrap().as_ref(), &fill(&d, 3)[..]);
+        assert_eq!(d.fault_stats().unwrap().erase_failures, 1);
+    }
+
+    #[test]
+    fn injected_read_failure_still_charges_sense_time() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 5)))
+            .unwrap();
+        d.set_fault_config(crate::fault::FaultConfig {
+            seed: 1,
+            program_fail: 0.0,
+            erase_fail: 0.0,
+            read_uncorrectable: 1.0,
+            wear_coupling: false,
+        });
+        let before = d.plane_free_at(0);
+        let err = d.read_page(p, before).unwrap_err();
+        match err {
+            NandError::ReadUncorrectable { page, busy_until } => {
+                assert_eq!(page, p);
+                assert!(busy_until > before, "failed read must consume sense time");
+                assert_eq!(d.plane_free_at(0), busy_until);
+            }
+            other => panic!("expected ReadUncorrectable, got {other:?}"),
+        }
+        assert!(err.is_media_fault());
+        assert_eq!(d.fault_stats().unwrap().read_uncorrectable, 1);
+    }
+
+    #[test]
+    fn inactive_fault_config_disarms() {
+        let mut d = die();
+        d.set_fault_config(crate::fault::FaultConfig::uniform(9, 1.0));
+        d.set_fault_config(crate::fault::FaultConfig::disabled());
+        assert!(d.fault_stats().is_none());
+        d.program_page(page_of(&d, 0, 0, 0), SimTime::ZERO, Some(&fill(&d, 0)))
+            .unwrap();
+    }
+
+    #[test]
+    fn retired_block_counting() {
+        let mut d = die();
+        assert_eq!(d.retired_blocks(), 0);
+        d.block_mut(BlockAddr { plane: 0, block: 2 })
+            .unwrap()
+            .retire();
+        assert_eq!(d.retired_blocks(), 1);
     }
 }

@@ -6,6 +6,7 @@
 //! silently corrupting simulated data.
 
 use crate::geometry::{BlockAddr, PhysPage};
+use simkit::SimTime;
 use std::error::Error;
 use std::fmt;
 
@@ -43,6 +44,46 @@ pub enum NandError {
         /// Page size in bytes.
         want: usize,
     },
+    /// The program operation reported bad status (injected media fault).
+    /// The plane stayed busy for the full program latency; nothing was
+    /// written. The block must be treated as bad and the page re-homed.
+    ProgramFailed {
+        /// The page whose program failed.
+        page: PhysPage,
+        /// When the plane frees after the failed attempt.
+        busy_until: SimTime,
+    },
+    /// The erase operation reported bad status (injected media fault).
+    /// The plane stayed busy for the full erase latency; the block keeps
+    /// its old state and must be retired.
+    EraseFailed {
+        /// The block whose erase failed.
+        block: BlockAddr,
+        /// When the plane frees after the failed attempt.
+        busy_until: SimTime,
+    },
+    /// The read came back with more raw bit errors than the ECC can
+    /// correct, even after on-die read-retries (injected media fault). The
+    /// plane stayed busy for the full (retried) sense latency.
+    ReadUncorrectable {
+        /// The page whose read failed.
+        page: PhysPage,
+        /// When the plane frees after the failed attempt.
+        busy_until: SimTime,
+    },
+}
+
+impl NandError {
+    /// True for injected media faults (recoverable by device policy), as
+    /// opposed to protocol violations (bugs in the caller).
+    pub fn is_media_fault(&self) -> bool {
+        matches!(
+            self,
+            NandError::ProgramFailed { .. }
+                | NandError::EraseFailed { .. }
+                | NandError::ReadUncorrectable { .. }
+        )
+    }
 }
 
 impl fmt::Display for NandError {
@@ -69,6 +110,17 @@ impl fmt::Display for NandError {
             NandError::WrongLength { page, got, want } => {
                 write!(f, "program of {page} with {got} bytes (page size {want})")
             }
+            NandError::ProgramFailed { page, busy_until } => {
+                write!(f, "program of {page} reported bad status at {busy_until}")
+            }
+            NandError::EraseFailed { block, busy_until } => write!(
+                f,
+                "erase of pl{}/blk{} reported bad status at {busy_until}",
+                block.plane, block.block
+            ),
+            NandError::ReadUncorrectable { page, busy_until } => {
+                write!(f, "read of {page} ECC-uncorrectable at {busy_until}")
+            }
         }
     }
 }
@@ -81,14 +133,27 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let p = PhysPage { plane: 1, block: 2, page: 3 };
-        assert!(NandError::BadAddress(p).to_string().contains("pl1/blk2/pg3"));
-        assert!(NandError::OutOfOrderProgram { page: p, expected: 0 }
+        let p = PhysPage {
+            plane: 1,
+            block: 2,
+            page: 3,
+        };
+        assert!(NandError::BadAddress(p)
             .to_string()
-            .contains("next programmable page is 0"));
-        assert!(NandError::WrongLength { page: p, got: 5, want: 4096 }
-            .to_string()
-            .contains("5 bytes"));
+            .contains("pl1/blk2/pg3"));
+        assert!(NandError::OutOfOrderProgram {
+            page: p,
+            expected: 0
+        }
+        .to_string()
+        .contains("next programmable page is 0"));
+        assert!(NandError::WrongLength {
+            page: p,
+            got: 5,
+            want: 4096
+        }
+        .to_string()
+        .contains("5 bytes"));
     }
 
     #[test]

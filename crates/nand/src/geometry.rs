@@ -43,9 +43,7 @@ impl NandGeometry {
 
     /// True if `p` addresses a page that exists on this die.
     pub fn contains(&self, p: PhysPage) -> bool {
-        p.plane < self.planes
-            && p.block < self.blocks_per_plane
-            && p.page < self.pages_per_block
+        p.plane < self.planes && p.block < self.blocks_per_plane && p.page < self.pages_per_block
     }
 
     /// True if `b` addresses a block that exists on this die.
@@ -184,15 +182,34 @@ mod tests {
     #[test]
     fn contains_rejects_out_of_range() {
         let g = geo();
-        assert!(!g.contains(PhysPage { plane: 4, block: 0, page: 0 }));
-        assert!(!g.contains(PhysPage { plane: 0, block: 10, page: 0 }));
-        assert!(!g.contains(PhysPage { plane: 0, block: 0, page: 16 }));
-        assert!(!g.contains_block(BlockAddr { plane: 0, block: 10 }));
+        assert!(!g.contains(PhysPage {
+            plane: 4,
+            block: 0,
+            page: 0
+        }));
+        assert!(!g.contains(PhysPage {
+            plane: 0,
+            block: 10,
+            page: 0
+        }));
+        assert!(!g.contains(PhysPage {
+            plane: 0,
+            block: 0,
+            page: 16
+        }));
+        assert!(!g.contains_block(BlockAddr {
+            plane: 0,
+            block: 10
+        }));
     }
 
     #[test]
     fn page_block_relationships() {
-        let p = PhysPage { plane: 2, block: 7, page: 9 };
+        let p = PhysPage {
+            plane: 2,
+            block: 7,
+            page: 9,
+        };
         assert_eq!(p.block_addr(), BlockAddr { plane: 2, block: 7 });
         assert_eq!(p.block_addr().page(9), p);
         assert_eq!(p.to_string(), "pl2/blk7/pg9");

@@ -24,6 +24,10 @@
 //!   host memory.
 //! * **Wear** ([`wear`]): per-block P/E counts and an analytic raw-bit-error
 //!   model, feeding the endurance experiment (reconstructed Figure 11).
+//! * **Faults** ([`fault`]): seeded, deterministic injection of program/
+//!   erase status failures and ECC-uncorrectable reads, wear-coupled
+//!   through the RBER model — the substrate of the recovery subsystem and
+//!   the fault sweep (reconstructed Figure 24).
 //!
 //! ## Example
 //!
@@ -50,11 +54,13 @@ mod error;
 mod geometry;
 mod timing;
 
+pub mod fault;
 pub mod store;
 pub mod wear;
 
 pub use bus::OnfiBus;
 pub use die::{Die, DieStats};
 pub use error::NandError;
+pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use geometry::{BlockAddr, NandGeometry, PhysPage};
 pub use timing::{NandConfig, NandTiming, PageType};

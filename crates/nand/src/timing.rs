@@ -65,7 +65,7 @@ impl CellKind {
         match self {
             CellKind::Slc => PageType::Lower,
             CellKind::Mlc => {
-                if page % 2 == 0 {
+                if page.is_multiple_of(2) {
                     PageType::Lower
                 } else {
                     PageType::Upper
@@ -159,12 +159,8 @@ impl NandTiming {
         match cell {
             CellKind::Slc => self.t_read_lower,
             CellKind::Mlc => (self.t_read_lower + self.t_read_upper) / 2,
-            CellKind::Tlc => {
-                (self.t_read_lower + self.t_read_middle + self.t_read_upper) / 3
-            }
-            CellKind::Qlc => {
-                (self.t_read_lower + self.t_read_middle * 2 + self.t_read_upper) / 4
-            }
+            CellKind::Tlc => (self.t_read_lower + self.t_read_middle + self.t_read_upper) / 3,
+            CellKind::Qlc => (self.t_read_lower + self.t_read_middle * 2 + self.t_read_upper) / 4,
         }
     }
 

@@ -36,7 +36,12 @@ impl RberModel {
         let k = 2.4;
         // Solve b so that rber(rated) == ceiling.
         let b = (ceiling - floor) / rated.powf(k);
-        RberModel { a: floor, b, k, ecc_ceiling: ceiling }
+        RberModel {
+            a: floor,
+            b,
+            k,
+            ecc_ceiling: ceiling,
+        }
     }
 
     /// Raw bit error rate after `pe` program/erase cycles.
@@ -91,12 +96,7 @@ impl LifetimeProjection {
     /// * `erases_per_step` — measured device-wide erases per training step.
     /// * `wear_imbalance` — max block erase count ÷ mean erase count
     ///   observed (1.0 = perfectly level).
-    pub fn project(
-        blocks: u64,
-        rated_pe: u64,
-        erases_per_step: f64,
-        wear_imbalance: f64,
-    ) -> Self {
+    pub fn project(blocks: u64, rated_pe: u64, erases_per_step: f64, wear_imbalance: f64) -> Self {
         let total = blocks.saturating_mul(rated_pe);
         let uniform = if erases_per_step > 0.0 {
             total as f64 / erases_per_step
@@ -154,6 +154,71 @@ mod tests {
     }
 
     #[test]
+    fn rber_is_strictly_monotone_past_zero() {
+        // The fault injector's wear coupling divides by rber ratios, so the
+        // curve must strictly increase once pe > 0 (no flat segments).
+        let m = RberModel::for_cell(CellKind::Tlc);
+        let mut prev = m.rber(0);
+        for pe in (1..=6000u64).step_by(97) {
+            let r = m.rber(pe);
+            assert!(r > prev, "rber({pe}) = {r} did not grow past {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn read_retries_threshold_behaviour() {
+        let ceiling = 1e-3;
+        let floor = ceiling / 64.0;
+        // No retries at or below the quiet threshold (ceiling / 64).
+        assert_eq!(read_retries(0.0, ceiling), 0);
+        assert_eq!(read_retries(floor, ceiling), 0);
+        assert_eq!(read_retries(floor * 0.999, ceiling), 0);
+        // Roughly one extra retry per doubling of RBER above the threshold.
+        assert_eq!(read_retries(floor * 2.0, ceiling), 1);
+        assert_eq!(read_retries(floor * 4.0, ceiling), 2);
+        assert_eq!(read_retries(floor * 8.0, ceiling), 3);
+        // At the ECC ceiling itself: 64 = 2^6 doublings above the floor.
+        assert_eq!(read_retries(ceiling, ceiling), 6);
+        // Saturates at 6 — worn devices retry, they do not spin forever.
+        assert_eq!(read_retries(ceiling * 1000.0, ceiling), 6);
+        // Monotone in rber.
+        let mut prev = 0;
+        for i in 0..40 {
+            let r = read_retries(floor * 1.3f64.powi(i), ceiling);
+            assert!(r >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn usable_pe_cycles_consistent_with_ceiling() {
+        for cell in [CellKind::Slc, CellKind::Mlc, CellKind::Tlc, CellKind::Qlc] {
+            let m = RberModel::for_cell(cell);
+            let usable = m.usable_pe_cycles();
+            // The last usable cycle is still correctable; the next one
+            // is not (floor() semantics of the inversion).
+            assert!(
+                m.rber(usable) <= m.ecc_ceiling,
+                "{cell:?}: rber({usable}) above ceiling"
+            );
+            assert!(
+                m.rber(usable + 1) > m.ecc_ceiling,
+                "{cell:?}: rber({}) still under ceiling",
+                usable + 1
+            );
+        }
+        // A ceiling at (or under) the fresh-block floor leaves no budget.
+        let dead = RberModel {
+            a: 1e-3,
+            b: 1e-9,
+            k: 2.0,
+            ecc_ceiling: 1e-3,
+        };
+        assert_eq!(dead.usable_pe_cycles(), 0);
+    }
+
+    #[test]
     fn lifetime_projection_math() {
         // 1000 blocks × 3000 cycles = 3e6 budget; 3 erases/step → 1e6 steps.
         let p = LifetimeProjection::project(1000, 3000, 3.0, 1.0);
@@ -168,10 +233,7 @@ mod tests {
     fn imbalance_shortens_lifetime() {
         let level = LifetimeProjection::project(1000, 3000, 3.0, 1.0);
         let skewed = LifetimeProjection::project(1000, 3000, 3.0, 2.5);
-        assert!(
-            skewed.steps_to_exhaustion_imbalanced
-                < level.steps_to_exhaustion_imbalanced / 2.0
-        );
+        assert!(skewed.steps_to_exhaustion_imbalanced < level.steps_to_exhaustion_imbalanced / 2.0);
         // Imbalance below 1.0 is clamped.
         let clamped = LifetimeProjection::project(1000, 3000, 3.0, 0.5);
         assert_eq!(

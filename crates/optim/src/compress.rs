@@ -40,7 +40,10 @@ impl SparseGrad {
             fraction > 0.0 && fraction <= 1.0,
             "fraction must be in (0,1], got {fraction}"
         );
-        assert!(dense.len() <= u32::MAX as usize, "tensor too large for u32 indices");
+        assert!(
+            dense.len() <= u32::MAX as usize,
+            "tensor too large for u32 indices"
+        );
         let k = ((dense.len() as f64 * fraction).ceil() as usize).min(dense.len());
         // Partial selection: indices of the k largest |g|.
         let mut order: Vec<u32> = (0..dense.len() as u32).collect();

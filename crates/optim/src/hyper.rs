@@ -102,20 +102,30 @@ mod tests {
 
     #[test]
     fn bad_values_rejected() {
-        let mut p = AdamParams::default();
-        p.lr = -1.0;
+        let p = AdamParams {
+            lr: -1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = AdamParams::default();
-        p.beta2 = 1.0;
+        let p = AdamParams {
+            beta2: 1.0,
+            ..Default::default()
+        };
         assert!(p.validate().unwrap_err().contains("beta2"));
-        let mut p = AdamParams::default();
-        p.eps = 0.0;
+        let p = AdamParams {
+            eps: 0.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = AdamParams::default();
-        p.weight_decay = f32::NAN;
+        let p = AdamParams {
+            weight_decay: f32::NAN,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut m = MomentumParams::default();
-        m.momentum = 1.5;
+        let m = MomentumParams {
+            momentum: 1.5,
+            ..Default::default()
+        };
         assert!(m.validate().unwrap_err().contains("momentum"));
     }
 }

@@ -113,7 +113,7 @@ pub fn update_chunk(
     grad_dtype: GradDtype,
     step: u64,
 ) -> Result<usize, KernelError> {
-    if w32.len() % 4 != 0 {
+    if !w32.len().is_multiple_of(4) {
         return Err(KernelError::LengthMismatch {
             buffer: "w32",
             got: w32.len(),
@@ -245,7 +245,7 @@ pub fn encode_grads(grads: &[f32], dtype: GradDtype) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::optimizer::{Adam, Adagrad, AdamW, OptimizerKind, SgdMomentum};
+    use crate::optimizer::{Adagrad, Adam, AdamW, OptimizerKind, SgdMomentum};
 
     fn grads_bytes(n: usize, val: f32) -> Vec<u8> {
         encode_grads(&vec![val; n], GradDtype::F16)
@@ -308,7 +308,7 @@ mod tests {
         let adam = Adam::default();
         let weights = vec![0.0f32; 8];
         let mut buf = StateBuffers::init(&adam, &weights, GradDtype::Bf16);
-        let grads = encode_grads(&vec![2.0f32; 8], GradDtype::Bf16);
+        let grads = encode_grads(&[2.0f32; 8], GradDtype::Bf16);
         buf.step(&adam, &grads, GradDtype::Bf16, 1).unwrap();
         for w in buf.weights_f32() {
             assert!(w < 0.0);
@@ -352,7 +352,10 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert!(matches!(err, KernelError::LengthMismatch { buffer: "slot", .. }));
+        assert!(matches!(
+            err,
+            KernelError::LengthMismatch { buffer: "slot", .. }
+        ));
 
         let mut m = vec![0u8; 16];
         let bad_grads = vec![0u8; 6];
@@ -366,7 +369,13 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert!(matches!(err, KernelError::LengthMismatch { buffer: "grads", .. }));
+        assert!(matches!(
+            err,
+            KernelError::LengthMismatch {
+                buffer: "grads",
+                ..
+            }
+        ));
     }
 
     #[test]

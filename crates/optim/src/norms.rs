@@ -13,11 +13,7 @@ pub fn sum_of_squares(xs: &[f32]) -> f64 {
 /// Global L2 norm of a gradient split into shards (the multi-device case:
 /// each shard contributes a partial sum, reduced here).
 pub fn global_norm<'a>(shards: impl IntoIterator<Item = &'a [f32]>) -> f64 {
-    shards
-        .into_iter()
-        .map(sum_of_squares)
-        .sum::<f64>()
-        .sqrt()
+    shards.into_iter().map(sum_of_squares).sum::<f64>().sqrt()
 }
 
 /// Scales `grads` in place so its global norm is at most `max_norm`.

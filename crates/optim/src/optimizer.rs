@@ -334,7 +334,11 @@ impl Optimizer for Lion {
 
 /// Constructs a boxed optimizer of the given kind with default-ish
 /// hyperparameters (used by configs and the command protocol decoder).
-pub fn make_optimizer(kind: OptimizerKind, adam: AdamParams, mom: MomentumParams) -> Box<dyn Optimizer> {
+pub fn make_optimizer(
+    kind: OptimizerKind,
+    adam: AdamParams,
+    mom: MomentumParams,
+) -> Box<dyn Optimizer> {
     match kind {
         OptimizerKind::Adam => Box::new(Adam::new(adam)),
         OptimizerKind::AdamW => Box::new(AdamW::new(adam)),

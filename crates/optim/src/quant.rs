@@ -36,7 +36,9 @@ pub struct QuantizedTensor {
 
 /// Encodes `|x|/scale ∈ [0,1]` on the quartic map with `c_max` levels.
 fn encode_mag(ratio: f32, c_max: f32) -> f32 {
-    (ratio.max(0.0).powf(0.25) * c_max).round().clamp(0.0, c_max)
+    (ratio.max(0.0).powf(0.25) * c_max)
+        .round()
+        .clamp(0.0, c_max)
 }
 
 /// Decodes a magnitude code back to `[0,1]`.

@@ -368,10 +368,7 @@ mod tests {
     fn transfer_time_rounds_up() {
         // 3 bytes over 2 B/s = 1.5 s → must round to 1 500 000 000 ns exactly,
         // and 1 byte over 3 B/s must round UP.
-        assert_eq!(
-            SimDuration::for_transfer(3, 2),
-            SimDuration::from_ms(1_500)
-        );
+        assert_eq!(SimDuration::for_transfer(3, 2), SimDuration::from_ms(1_500));
         assert_eq!(
             SimDuration::for_transfer(1, 3).as_ns(),
             333_333_334 // ceil(1e9 / 3)
@@ -397,10 +394,7 @@ mod tests {
 
     #[test]
     fn sum_and_scalar_ops() {
-        let total: SimDuration = [1u64, 2, 3]
-            .iter()
-            .map(|&n| SimDuration::from_ns(n))
-            .sum();
+        let total: SimDuration = [1u64, 2, 3].iter().map(|&n| SimDuration::from_ns(n)).sum();
         assert_eq!(total, SimDuration::from_ns(6));
         assert_eq!(SimDuration::from_ns(6) * 2, SimDuration::from_ns(12));
         assert_eq!(SimDuration::from_ns(6) / 2, SimDuration::from_ns(3));

@@ -20,9 +20,7 @@ impl fmt::Display for Lpn {
 
 /// Identifies one die within the device by channel and position on that
 /// channel.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DieId {
     /// Channel index.
     pub channel: u32,
@@ -104,7 +102,10 @@ mod tests {
     fn die_id_flat_round_trips() {
         for ch in 0..16 {
             for idx in 0..8 {
-                let d = DieId { channel: ch, index: idx };
+                let d = DieId {
+                    channel: ch,
+                    index: idx,
+                };
                 assert_eq!(DieId::from_flat(d.flat(8), 8), d);
             }
         }
@@ -113,8 +114,15 @@ mod tests {
     #[test]
     fn ppa_pack_round_trips() {
         let p = Ppa {
-            die: DieId { channel: 15, index: 7 },
-            page: PhysPage { plane: 3, block: 1363, page: 1535 },
+            die: DieId {
+                channel: 15,
+                index: 7,
+            },
+            page: PhysPage {
+                plane: 3,
+                block: 1363,
+                page: 1535,
+            },
         };
         let packed = p.pack(8);
         assert_eq!(Ppa::unpack(packed, 8), Some(p));
@@ -128,8 +136,15 @@ mod tests {
     #[test]
     fn display_formats() {
         let p = Ppa {
-            die: DieId { channel: 1, index: 2 },
-            page: PhysPage { plane: 0, block: 5, page: 9 },
+            die: DieId {
+                channel: 1,
+                index: 2,
+            },
+            page: PhysPage {
+                plane: 0,
+                block: 5,
+                page: 9,
+            },
         };
         assert_eq!(p.to_string(), "ch1.die2/pl0/blk5/pg9");
         assert_eq!(Lpn(3).to_string(), "lpn3");

@@ -1,7 +1,7 @@
 //! One flash channel: an ONFI bus shared by several dies.
 
-use nandsim::{Die, NandError, OnfiBus, PhysPage};
 use bytes::Bytes;
+use nandsim::{Die, NandError, OnfiBus, PhysPage};
 use simkit::{SimTime, Window};
 
 /// A channel: the bus plus the dies behind it.
@@ -64,7 +64,13 @@ impl Channel {
         let page_bytes = self.dies[die_index as usize].config().geometry.page_bytes as u64;
         let (array, data) = self.dies[die_index as usize].read_page(page, at)?;
         let bus = self.bus.transfer(array.end, page_bytes);
-        Ok((Window { start: array.start, end: bus.end }, data))
+        Ok((
+            Window {
+                start: array.start,
+                end: bus.end,
+            },
+            data,
+        ))
     }
 
     /// Programs a page **from the controller**: a bus transfer of the page
@@ -79,7 +85,10 @@ impl Channel {
         let page_bytes = self.dies[die_index as usize].config().geometry.page_bytes as u64;
         let bus = self.bus.transfer(at, page_bytes);
         let prog = self.dies[die_index as usize].program_page(page, bus.end, data)?;
-        Ok(Window { start: bus.start, end: prog.end })
+        Ok(Window {
+            start: bus.start,
+            end: prog.end,
+        })
     }
 }
 
@@ -97,9 +106,15 @@ mod tests {
     #[test]
     fn controller_read_crosses_the_bus() {
         let mut ch = channel();
-        let p = PhysPage { plane: 0, block: 0, page: 0 };
+        let p = PhysPage {
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
         let data = vec![3u8; ch.die(0).config().geometry.page_bytes as usize];
-        let w = ch.program_from_controller(0, p, Some(&data), SimTime::ZERO).unwrap();
+        let w = ch
+            .program_from_controller(0, p, Some(&data), SimTime::ZERO)
+            .unwrap();
         let (r, out) = ch.read_to_controller(0, p, w.end).unwrap();
         assert_eq!(out.unwrap().as_ref(), &data[..]);
         // Window covers array read + bus transfer: longer than tR alone.
@@ -110,12 +125,20 @@ mod tests {
     #[test]
     fn bus_serializes_across_dies_but_arrays_overlap() {
         let mut ch = channel();
-        let p = PhysPage { plane: 0, block: 0, page: 0 };
+        let p = PhysPage {
+            plane: 0,
+            block: 0,
+            page: 0,
+        };
         let bytes = ch.die(0).config().geometry.page_bytes as usize;
         let data = vec![1u8; bytes];
         // Program the same page address on both dies.
-        let w0 = ch.program_from_controller(0, p, Some(&data), SimTime::ZERO).unwrap();
-        let w1 = ch.program_from_controller(1, p, Some(&data), SimTime::ZERO).unwrap();
+        let w0 = ch
+            .program_from_controller(0, p, Some(&data), SimTime::ZERO)
+            .unwrap();
+        let w1 = ch
+            .program_from_controller(1, p, Some(&data), SimTime::ZERO)
+            .unwrap();
         // The second program's bus transfer waited for the first.
         assert!(w1.start >= SimTime::ZERO);
         assert!(w1.end > w0.end - ch.die(0).config().timing.t_program);

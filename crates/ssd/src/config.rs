@@ -1,6 +1,6 @@
 //! Device configuration and the Table-2 presets.
 
-use nandsim::NandConfig;
+use nandsim::{FaultConfig, NandConfig};
 use serde::{Deserialize, Serialize};
 
 /// PCIe host-link generation/width presets (per-direction bandwidth).
@@ -75,6 +75,10 @@ pub struct SsdConfig {
     pub overprovision: f64,
     /// GC / allocation policy.
     pub gc: GcPolicy,
+    /// Seeded media-fault injection, armed on every die at build time.
+    /// `None` (all presets) keeps the device bit- and timing-identical to
+    /// a faultless build: no injector exists and no PRNG draw happens.
+    pub fault: Option<FaultConfig>,
 }
 
 impl SsdConfig {
@@ -90,6 +94,7 @@ impl SsdConfig {
             dram_bytes_per_sec: 25_600_000_000, // LPDDR4X-3200 ×64 controller memory
             overprovision: 0.07,
             gc: GcPolicy::default(),
+            fault: None,
         }
     }
 
@@ -126,7 +131,14 @@ impl SsdConfig {
                 wear_leveling: true,
                 static_wl_threshold: None,
             },
+            fault: None,
         }
+    }
+
+    /// The same configuration with seeded fault injection armed.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Total dies in the device.
@@ -193,6 +205,9 @@ impl SsdConfig {
         if self.dram_bytes_per_sec == 0 {
             return Err("controller DRAM bandwidth must be positive".into());
         }
+        if let Some(fault) = &self.fault {
+            fault.validate()?;
+        }
         Ok(())
     }
 }
@@ -203,7 +218,12 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for cfg in [SsdConfig::base(), SsdConfig::big(), SsdConfig::small(), SsdConfig::tiny()] {
+        for cfg in [
+            SsdConfig::base(),
+            SsdConfig::big(),
+            SsdConfig::small(),
+            SsdConfig::tiny(),
+        ] {
             cfg.validate().unwrap();
         }
     }
@@ -231,8 +251,7 @@ mod tests {
         assert!(cfg.aggregate_bus_bytes_per_sec() > cfg.pcie.bytes_per_sec());
         // Program bandwidth is the internal floor.
         assert!(
-            cfg.aggregate_array_program_bytes_per_sec()
-                < cfg.aggregate_array_read_bytes_per_sec()
+            cfg.aggregate_array_program_bytes_per_sec() < cfg.aggregate_array_read_bytes_per_sec()
         );
     }
 
@@ -260,6 +279,11 @@ mod tests {
         let mut cfg = SsdConfig::base();
         cfg.dram_bytes_per_sec = 0;
         assert!(cfg.validate().is_err());
+
+        let cfg = SsdConfig::base().with_fault(FaultConfig::uniform(0, 1.5));
+        assert!(cfg.validate().is_err());
+        let cfg = SsdConfig::base().with_fault(FaultConfig::uniform(7, 0.01));
+        cfg.validate().unwrap();
     }
 
     #[test]
@@ -271,9 +295,6 @@ mod tests {
             pages,
             cfg.logical_bytes() / cfg.nand.geometry.page_bytes as u64
         );
-        assert_eq!(
-            cfg.logical_pages_per_die(),
-            pages / cfg.total_dies() as u64
-        );
+        assert_eq!(cfg.logical_pages_per_die(), pages / cfg.total_dies() as u64);
     }
 }

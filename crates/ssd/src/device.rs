@@ -10,8 +10,15 @@ use crate::ftl::Ftl;
 use crate::stats::DeviceStats;
 use crate::trace::{OpKind, TraceEvent, TraceLog};
 use bytes::Bytes;
-use nandsim::{Die, OnfiBus};
+use nandsim::{Die, FaultStats, NandError, OnfiBus, PhysPage};
 use simkit::{BandwidthLink, SimTime, Window};
+
+/// Device-level read-retry bound: after the initial read comes back
+/// ECC-uncorrectable, the controller re-issues the sense (with escalating
+/// backoff) this many times before declaring the page unreadable. Real
+/// controllers walk a read-retry voltage table of a few entries; the exact
+/// depth only bounds how much latency a fault can cost.
+const READ_RETRY_LIMIT: u32 = 4;
 
 /// A complete simulated SSD.
 ///
@@ -58,11 +65,15 @@ impl Device {
                 let dies: Vec<Die> = (0..config.dies_per_channel)
                     .map(|i| {
                         let id = ch * config.dies_per_channel + i;
-                        if functional {
+                        let mut die = if functional {
                             Die::new_functional(id, config.nand)
                         } else {
                             Die::new(id, config.nand)
+                        };
+                        if let Some(fault) = config.fault {
+                            die.set_fault_config(fault);
                         }
+                        die
                     })
                     .collect();
                 let bus = OnfiBus::new(format!("ch{ch}"), &config.nand.timing);
@@ -106,6 +117,32 @@ impl Device {
     /// Lifetime statistics.
     pub fn stats(&self) -> &DeviceStats {
         &self.stats
+    }
+
+    /// Aggregated injected-fault counters across every die (all zero when
+    /// fault injection is disarmed).
+    pub fn fault_stats(&self) -> FaultStats {
+        let mut total = FaultStats::default();
+        for ch in &self.channels {
+            for d in ch.dies() {
+                if let Some(s) = d.fault_stats() {
+                    total.program_failures += s.program_failures;
+                    total.erase_failures += s.erase_failures;
+                    total.read_uncorrectable += s.read_uncorrectable;
+                }
+            }
+        }
+        total
+    }
+
+    /// Blocks out of service across every die: recovery-policy retirements
+    /// after media faults plus wear-out retirements at rated P/E cycles.
+    pub fn retired_blocks(&self) -> u64 {
+        self.channels
+            .iter()
+            .flat_map(|c| c.dies())
+            .map(Die::retired_blocks)
+            .sum()
     }
 
     /// True if page contents are stored.
@@ -220,11 +257,18 @@ impl Device {
         // Store-and-forward through controller DRAM: one write, one read.
         let dram_in = self.dram.transfer(pcie.end, bytes);
         let dram = self.dram.transfer(dram_in.end, bytes);
-        let die = self.ftl.lookup(lpn).map(|p| p.die).unwrap_or_else(|| self.die_for_lpn(lpn));
+        let die = self
+            .ftl
+            .lookup(lpn)
+            .map(|p| p.die)
+            .unwrap_or_else(|| self.die_for_lpn(lpn));
         let win = self.program_internal(lpn, die, data, dram.end, true)?;
         self.stats.host_writes.incr();
         self.stats.user_programs.incr();
-        Ok(Window { start: pcie.start, end: win.end })
+        Ok(Window {
+            start: pcie.start,
+            end: win.end,
+        })
     }
 
     /// Reads one host page: array read → channel bus → DRAM → PCIe out.
@@ -236,8 +280,7 @@ impl Device {
         self.check_lpn(lpn)?;
         let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
         let bytes = self.page_bytes() as u64;
-        let (chan_win, data) = self.channels[ppa.die.channel as usize]
-            .read_to_controller(ppa.die.index, ppa.page, at)?;
+        let (chan_win, data) = self.read_channel_with_retry(lpn, ppa, at)?;
         self.trace_op(OpKind::Read, Some(lpn), ppa.die, chan_win);
         // Store-and-forward through controller DRAM: one write, one read.
         let dram_in = self.dram.transfer(chan_win.end, bytes);
@@ -245,7 +288,13 @@ impl Device {
         let pcie = self.pcie_out.transfer(dram.end, bytes);
         self.stats.pcie_out_busy += pcie.duration();
         self.stats.host_reads.incr();
-        Ok((Window { start: chan_win.start, end: pcie.end }, data))
+        Ok((
+            Window {
+                start: chan_win.start,
+                end: pcie.end,
+            },
+            data,
+        ))
     }
 
     /// Unmaps a logical page (TRIM), invalidating its physical page.
@@ -267,8 +316,7 @@ impl Device {
     ) -> Result<(Window, Option<Bytes>), SsdError> {
         self.check_lpn(lpn)?;
         let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
-        let die = self.channels[ppa.die.channel as usize].die_mut(ppa.die.index);
-        let (win, data) = die.read_page(ppa.page, at)?;
+        let (win, data) = self.read_array_with_retry(lpn, ppa, at)?;
         self.trace_op(OpKind::Read, Some(lpn), ppa.die, win);
         self.stats.ndp_reads.incr();
         Ok((win, data))
@@ -283,11 +331,101 @@ impl Device {
     ) -> Result<(Window, Option<Bytes>), SsdError> {
         self.check_lpn(lpn)?;
         let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
-        let (win, data) = self.channels[ppa.die.channel as usize]
-            .read_to_controller(ppa.die.index, ppa.page, at)?;
+        let (win, data) = self.read_channel_with_retry(lpn, ppa, at)?;
         self.trace_op(OpKind::Read, Some(lpn), ppa.die, win);
         self.stats.ndp_reads.incr();
         Ok((win, data))
+    }
+
+    /// Die-local array read under the device's bounded retry policy: each
+    /// ECC-uncorrectable attempt is traced, then re-issued after an
+    /// escalating backoff. The retries charge real plane time (the die
+    /// senses the page again), so faults degrade latency honestly.
+    fn read_array_with_retry(
+        &mut self,
+        lpn: Lpn,
+        ppa: Ppa,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        let mut t = at;
+        for attempt in 0..=READ_RETRY_LIMIT {
+            let die = self.channels[ppa.die.channel as usize].die_mut(ppa.die.index);
+            match die.read_page(ppa.page, t) {
+                Ok(ok) => return Ok(ok),
+                Err(NandError::ReadUncorrectable { busy_until, .. }) => {
+                    self.trace_op(
+                        OpKind::ReadFail,
+                        Some(lpn),
+                        ppa.die,
+                        Window {
+                            start: t,
+                            end: busy_until,
+                        },
+                    );
+                    if attempt < READ_RETRY_LIMIT {
+                        self.stats.read_retries.incr();
+                        let backoff = self
+                            .config
+                            .nand
+                            .timing
+                            .t_read_lower
+                            .saturating_mul(attempt as u64 + 1);
+                        t = busy_until + backoff;
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.stats.uncorrectable_reads.incr();
+        Err(SsdError::UncorrectableRead {
+            lpn,
+            attempts: READ_RETRY_LIMIT + 1,
+        })
+    }
+
+    /// [`Self::read_array_with_retry`], but through the channel bus (host
+    /// and channel-NDP read paths). A failed attempt never crosses the bus
+    /// — no data left the die.
+    fn read_channel_with_retry(
+        &mut self,
+        lpn: Lpn,
+        ppa: Ppa,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        let mut t = at;
+        for attempt in 0..=READ_RETRY_LIMIT {
+            let channel = &mut self.channels[ppa.die.channel as usize];
+            match channel.read_to_controller(ppa.die.index, ppa.page, t) {
+                Ok(ok) => return Ok(ok),
+                Err(NandError::ReadUncorrectable { busy_until, .. }) => {
+                    self.trace_op(
+                        OpKind::ReadFail,
+                        Some(lpn),
+                        ppa.die,
+                        Window {
+                            start: t,
+                            end: busy_until,
+                        },
+                    );
+                    if attempt < READ_RETRY_LIMIT {
+                        self.stats.read_retries.incr();
+                        let backoff = self
+                            .config
+                            .nand
+                            .timing
+                            .t_read_lower
+                            .saturating_mul(attempt as u64 + 1);
+                        t = busy_until + backoff;
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.stats.uncorrectable_reads.incr();
+        Err(SsdError::UncorrectableRead {
+            lpn,
+            attempts: READ_RETRY_LIMIT + 1,
+        })
     }
 
     /// **In-storage program.** Writes a new version of `lpn` out-of-place.
@@ -319,7 +457,8 @@ impl Device {
     }
 
     /// Shared out-of-place program path (host and NDP): ensure space, pick
-    /// a page, program, commit the mapping, invalidate the stale page.
+    /// a page, program (with media-fault recovery), commit the mapping,
+    /// invalidate the stale page.
     fn program_internal(
         &mut self,
         lpn: Lpn,
@@ -328,26 +467,138 @@ impl Device {
         at: SimTime,
         cross_bus: bool,
     ) -> Result<Window, SsdError> {
-        let die_flat = die_id.flat(self.config.dies_per_channel);
         self.ensure_space(die_id, at)?;
         self.maybe_static_wl(die_id, at)?;
+        self.program_no_gc(lpn, die_id, data, at, cross_bus, None)
+    }
+
+    /// Out-of-place program with media-fault recovery but *no* GC trigger.
+    /// GC relocation and rescue relocation come through here directly:
+    /// kicking off nested GC from inside either could erase the very block
+    /// being relocated.
+    ///
+    /// A program that reports bad status retires its block (bad blocks do
+    /// not heal), rescues the block's valid pages, and re-homes the page on
+    /// a fresh block — on the same plane when one is available, so the
+    /// remap costs no extra plane switch. The loop terminates because every
+    /// failure permanently removes a block from allocation: a die that
+    /// keeps failing runs out of blocks and surfaces `OutOfSpace`.
+    fn program_no_gc(
+        &mut self,
+        lpn: Lpn,
+        die_id: DieId,
+        data: Option<&[u8]>,
+        at: SimTime,
+        cross_bus: bool,
+        prefer_plane: Option<u32>,
+    ) -> Result<Window, SsdError> {
+        let die_flat = die_id.flat(self.config.dies_per_channel);
         let wear = self.config.gc.wear_leveling;
-        let channel = &mut self.channels[die_id.channel as usize];
-        let page = self
-            .ftl
-            .allocate_page(die_flat, channel.die(die_id.index), wear)
+        let mut at = at;
+        let mut prefer = prefer_plane;
+        loop {
+            let channel = &mut self.channels[die_id.channel as usize];
+            let page = match prefer {
+                Some(p) => {
+                    self.ftl
+                        .allocate_page_preferring(die_flat, channel.die(die_id.index), p, wear)
+                }
+                None => self
+                    .ftl
+                    .allocate_page(die_flat, channel.die(die_id.index), wear),
+            }
             .ok_or(SsdError::OutOfSpace(die_id))?;
-        let win = if cross_bus {
-            channel.program_from_controller(die_id.index, page, data, at)?
-        } else {
-            channel.die_mut(die_id.index).program_page(page, at, data)?
-        };
-        let ppa = Ppa { die: die_id, page };
-        if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
-            invalidate(&mut self.channels, stale);
+            let attempt = if cross_bus {
+                channel.program_from_controller(die_id.index, page, data, at)
+            } else {
+                channel.die_mut(die_id.index).program_page(page, at, data)
+            };
+            match attempt {
+                Ok(win) => {
+                    let ppa = Ppa { die: die_id, page };
+                    if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
+                        invalidate(&mut self.channels, stale);
+                    }
+                    self.trace_op(OpKind::Program, Some(lpn), die_id, win);
+                    return Ok(win);
+                }
+                Err(NandError::ProgramFailed {
+                    page: failed,
+                    busy_until,
+                }) => {
+                    self.stats.program_failures.incr();
+                    let t_prog = self.config.nand.timing.t_program;
+                    self.trace_op(
+                        OpKind::ProgramFail,
+                        Some(lpn),
+                        die_id,
+                        Window {
+                            start: busy_until - t_prog,
+                            end: busy_until,
+                        },
+                    );
+                    let resume = self.retire_and_rescue(die_id, failed.block_addr(), busy_until)?;
+                    at = at.max(resume);
+                    prefer = Some(failed.plane);
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
-        self.trace_op(OpKind::Program, Some(lpn), die_id, win);
-        Ok(win)
+    }
+
+    /// Retires `block` after a media fault: marks it bad on the die,
+    /// removes it from allocation forever, and relocates its valid pages
+    /// die-locally. Rescue reads run the bounded retry policy; rescue
+    /// programs run the full recovery loop, so a failure *during* rescue
+    /// retires further blocks before resuming. Returns the instant the
+    /// rescue finished draining.
+    fn retire_and_rescue(
+        &mut self,
+        die_id: DieId,
+        block: nandsim::BlockAddr,
+        at: SimTime,
+    ) -> Result<SimTime, SsdError> {
+        let die_flat = die_id.flat(self.config.dies_per_channel);
+        self.channels[die_id.channel as usize]
+            .die_mut(die_id.index)
+            .block_mut(block)?
+            .retire();
+        self.ftl.discard_block(die_flat, block);
+        self.stats.retired_blocks.incr();
+
+        let geo = self.config.nand.geometry;
+        let victims: Vec<(Lpn, PhysPage)> = (0..geo.pages_per_block)
+            .filter_map(|idx| {
+                let die = self.die(die_id);
+                let valid =
+                    die.block(block).ok()?.page_state(idx) == nandsim::store::PageState::Valid;
+                if !valid {
+                    return None;
+                }
+                let page = block.page(idx);
+                let ppa = Ppa { die: die_id, page };
+                self.ftl.owner_of(ppa, die).map(|lpn| (lpn, page))
+            })
+            .collect();
+        let mut t = at;
+        for (owner, src) in victims {
+            let src_ppa = Ppa {
+                die: die_id,
+                page: src,
+            };
+            let (read_win, data) = self.read_array_with_retry(owner, src_ppa, t)?;
+            let win = self.program_no_gc(
+                owner,
+                die_id,
+                data.as_deref(),
+                read_win.end,
+                false,
+                Some(src.plane),
+            )?;
+            self.stats.rescue_copies.incr();
+            t = win.end;
+        }
+        Ok(t)
     }
 
     /// Runs garbage collection on a die until its free-block pool is back
@@ -413,7 +664,9 @@ impl Device {
     }
 
     /// Relocates every valid page of `victim` die-locally (copyback) and
-    /// erases it, returning the block to the free pool.
+    /// erases it, returning the block to the free pool. An erase that
+    /// reports bad status retires the victim instead — its pages were all
+    /// relocated or stale, so nothing else is lost.
     fn relocate_and_erase(
         &mut self,
         die_id: DieId,
@@ -426,44 +679,64 @@ impl Device {
             let src = victim_addr.page(page_idx);
             let is_valid = {
                 let die = self.die(die_id);
-                die.block(victim_addr)?.page_state(page_idx)
-                    == nandsim::store::PageState::Valid
+                die.block(victim_addr)?.page_state(page_idx) == nandsim::store::PageState::Valid
             };
             if !is_valid {
                 continue;
             }
-            let src_ppa = Ppa { die: die_id, page: src };
+            let src_ppa = Ppa {
+                die: die_id,
+                page: src,
+            };
             let owner = self
                 .ftl
                 .owner_of(src_ppa, self.die(die_id))
                 .expect("valid page must have an owner");
-            let wear = self.config.gc.wear_leveling;
-            let channel = &mut self.channels[die_id.channel as usize];
-            let (read_win, data) = channel.die_mut(die_id.index).read_page(src, at)?;
-            let dest = self
-                .ftl
-                .allocate_page(die_flat, channel.die(die_id.index), wear)
-                .ok_or(SsdError::OutOfSpace(die_id))?;
-            channel
-                .die_mut(die_id.index)
-                .program_page(dest, read_win.end, data.as_deref())?;
-            let dest_ppa = Ppa { die: die_id, page: dest };
-            if let Some(stale) = self.ftl.commit_program(owner, dest_ppa) {
-                invalidate(&mut self.channels, stale);
-            }
+            let (read_win, data) = self.read_array_with_retry(owner, src_ppa, at)?;
+            self.program_no_gc(owner, die_id, data.as_deref(), read_win.end, false, None)?;
             self.stats.gc_copies.incr();
         }
 
         let channel = &mut self.channels[die_id.channel as usize];
-        let erase_win = channel.die_mut(die_id.index).erase_block(victim_addr, at)?;
-        self.trace_op(OpKind::Erase, None, die_id, erase_win);
-        self.ftl.reclaim_block(
-            die_flat,
-            victim_addr,
-            self.channels[die_id.channel as usize].die(die_id.index),
-        );
-        self.stats.erases.incr();
-        self.per_die_erases[die_flat as usize] += 1;
+        match channel.die_mut(die_id.index).erase_block(victim_addr, at) {
+            Ok(erase_win) => {
+                self.trace_op(OpKind::Erase, None, die_id, erase_win);
+                self.ftl.reclaim_block(
+                    die_flat,
+                    victim_addr,
+                    self.channels[die_id.channel as usize].die(die_id.index),
+                );
+                // The erase may have pushed the block past its rated P/E
+                // cycles: a wear-retired block must not re-enter the pool.
+                if self.die(die_id).block(victim_addr)?.is_retired() {
+                    self.ftl.discard_block(die_flat, victim_addr);
+                }
+                self.stats.erases.incr();
+                self.per_die_erases[die_flat as usize] += 1;
+            }
+            Err(NandError::EraseFailed { busy_until, .. }) => {
+                self.stats.erase_failures.incr();
+                let t_erase = self.config.nand.timing.t_erase;
+                self.trace_op(
+                    OpKind::EraseFail,
+                    None,
+                    die_id,
+                    Window {
+                        start: busy_until - t_erase,
+                        end: busy_until,
+                    },
+                );
+                // Bad erase status: the block cannot be reclaimed. Retire
+                // it and take it out of allocation for good.
+                self.channels[die_id.channel as usize]
+                    .die_mut(die_id.index)
+                    .block_mut(victim_addr)?
+                    .retire();
+                self.ftl.discard_block(die_flat, victim_addr);
+                self.stats.retired_blocks.incr();
+            }
+            Err(e) => return Err(e.into()),
+        }
         Ok(())
     }
 
@@ -569,7 +842,11 @@ impl Device {
             pcie_in: self.pcie_in.utilization(horizon),
             pcie_out: self.pcie_out.utilization(horizon),
             dram: self.dram.utilization(horizon),
-            buses: self.channels.iter().map(|c| c.bus().utilization(horizon)).collect(),
+            buses: self
+                .channels
+                .iter()
+                .map(|c| c.bus().utilization(horizon))
+                .collect(),
             dies,
         }
     }
@@ -635,7 +912,9 @@ mod tests {
     fn write_read_round_trip() {
         let mut dev = Device::new_functional(SsdConfig::tiny());
         let data = page(&dev, 0x42);
-        let w = dev.host_write_page(Lpn(5), Some(&data), SimTime::ZERO).unwrap();
+        let w = dev
+            .host_write_page(Lpn(5), Some(&data), SimTime::ZERO)
+            .unwrap();
         let (r, out) = dev.host_read_page(Lpn(5), w.end).unwrap();
         assert_eq!(out.unwrap().as_ref(), &data[..]);
         assert!(r.end > w.end);
@@ -648,9 +927,11 @@ mod tests {
         let mut dev = Device::new_functional(SsdConfig::tiny());
         let a = page(&dev, 1);
         let b = page(&dev, 2);
-        dev.host_write_page(Lpn(0), Some(&a), SimTime::ZERO).unwrap();
+        dev.host_write_page(Lpn(0), Some(&a), SimTime::ZERO)
+            .unwrap();
         let first_ppa = dev.ftl().lookup(Lpn(0)).unwrap();
-        dev.host_write_page(Lpn(0), Some(&b), SimTime::ZERO).unwrap();
+        dev.host_write_page(Lpn(0), Some(&b), SimTime::ZERO)
+            .unwrap();
         let second_ppa = dev.ftl().lookup(Lpn(0)).unwrap();
         assert_ne!(first_ppa, second_ppa, "out-of-place write");
         assert_eq!(second_ppa.die, first_ppa.die, "update stays die-local");
@@ -705,16 +986,22 @@ mod tests {
     fn internal_ops_bypass_pcie() {
         let mut dev = Device::new_functional(SsdConfig::tiny());
         let data = page(&dev, 9);
-        dev.host_write_page(Lpn(1), Some(&data), SimTime::ZERO).unwrap();
+        dev.host_write_page(Lpn(1), Some(&data), SimTime::ZERO)
+            .unwrap();
         let pcie_busy_before = dev.stats().pcie_in_busy + dev.stats().pcie_out_busy;
 
-        let (_, out) = dev.internal_read_array(Lpn(1), SimTime::from_secs(1)).unwrap();
+        let (_, out) = dev
+            .internal_read_array(Lpn(1), SimTime::from_secs(1))
+            .unwrap();
         assert_eq!(out.unwrap().as_ref(), &data[..]);
         let new = page(&dev, 10);
         dev.internal_program(Lpn(1), None, Some(&new), SimTime::from_secs(2), false)
             .unwrap();
         let pcie_busy_after = dev.stats().pcie_in_busy + dev.stats().pcie_out_busy;
-        assert_eq!(pcie_busy_before, pcie_busy_after, "NDP path must not touch PCIe");
+        assert_eq!(
+            pcie_busy_before, pcie_busy_after,
+            "NDP path must not touch PCIe"
+        );
         assert_eq!(dev.stats().ndp_reads.get(), 1);
         assert_eq!(dev.stats().ndp_programs.get(), 1);
 
@@ -726,7 +1013,8 @@ mod tests {
     fn die_local_program_skips_the_bus() {
         let mut dev = Device::new_functional(SsdConfig::tiny());
         let data = page(&dev, 1);
-        dev.host_write_page(Lpn(2), Some(&data), SimTime::ZERO).unwrap();
+        dev.host_write_page(Lpn(2), Some(&data), SimTime::ZERO)
+            .unwrap();
         let die = dev.ftl().lookup(Lpn(2)).unwrap().die;
         let bus_bytes_before = dev.channels()[die.channel as usize].bus().bytes_moved();
         dev.internal_program(Lpn(2), None, Some(&data), SimTime::from_secs(1), false)
@@ -752,7 +1040,7 @@ mod tests {
             for i in 0..lpns {
                 let _ = round;
                 dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
-                t = t + simkit::SimDuration::from_us(1);
+                t += simkit::SimDuration::from_us(1);
             }
         }
         assert!(dev.stats().erases.get() > 0, "GC must have run");
@@ -767,7 +1055,8 @@ mod tests {
     fn trim_invalidates_and_unmaps() {
         let mut dev = Device::new_functional(SsdConfig::tiny());
         let data = page(&dev, 3);
-        dev.host_write_page(Lpn(9), Some(&data), SimTime::ZERO).unwrap();
+        dev.host_write_page(Lpn(9), Some(&data), SimTime::ZERO)
+            .unwrap();
         dev.trim(Lpn(9)).unwrap();
         assert!(dev.ftl().lookup(Lpn(9)).is_none());
         assert!(matches!(
@@ -791,9 +1080,7 @@ mod tests {
             let mut dev = Device::new(SsdConfig::tiny());
             let mut t = SimTime::ZERO;
             for i in 0..200u64 {
-                let w = dev
-                    .host_write_page(Lpn(i % 50), None, t)
-                    .unwrap();
+                let w = dev.host_write_page(Lpn(i % 50), None, t).unwrap();
                 t = w.end;
             }
             t
@@ -850,6 +1137,236 @@ mod tests {
         // Untraced devices return None.
         let dev2 = Device::new(SsdConfig::tiny());
         assert!(dev2.trace_events().is_none());
+    }
+
+    #[test]
+    fn program_failures_recover_transparently() {
+        use nandsim::FaultConfig;
+        let fault = FaultConfig {
+            seed: 0xF00D,
+            program_fail: 0.05,
+            erase_fail: 0.0,
+            read_uncorrectable: 0.0,
+            wear_coupling: false,
+        };
+        let mut dev = Device::new_functional(SsdConfig::tiny().with_fault(fault));
+        let mut t = SimTime::ZERO;
+        let n = 400u64;
+        for i in 0..n {
+            let data = vec![(i % 251) as u8; dev.page_bytes()];
+            let w = dev.host_write_page(Lpn(i % 64), Some(&data), t).unwrap();
+            t = w.end;
+        }
+        assert!(
+            dev.stats().program_failures.get() > 0,
+            "faults must have fired"
+        );
+        assert_eq!(
+            dev.stats().retired_blocks.get(),
+            dev.retired_blocks(),
+            "every policy retirement shows up on the dies"
+        );
+        assert!(dev.stats().retired_blocks.get() > 0);
+        assert_eq!(
+            dev.fault_stats().program_failures,
+            dev.stats().program_failures.get(),
+            "die counters and device counters agree"
+        );
+        // Recovery is transparent: every logical page reads back intact.
+        for i in 0..64u64 {
+            let last_write = (0..n).rev().find(|j| j % 64 == i).unwrap();
+            let expect = (last_write % 251) as u8;
+            let (_, out) = dev.host_read_page(Lpn(i), t).unwrap();
+            assert_eq!(out.unwrap()[0], expect, "lpn {i}");
+        }
+        // Rescue copies fold into write amplification.
+        if dev.stats().rescue_copies.get() > 0 {
+            assert!(dev.stats().waf() > 1.0);
+        }
+    }
+
+    #[test]
+    fn read_faults_retry_then_surface_typed_error() {
+        use nandsim::FaultConfig;
+        // Moderate rate: retries mask most faults.
+        let fault = FaultConfig {
+            seed: 3,
+            program_fail: 0.0,
+            erase_fail: 0.0,
+            read_uncorrectable: 0.3,
+            wear_coupling: false,
+        };
+        let mut dev = Device::new_functional(SsdConfig::tiny().with_fault(fault));
+        let data = page(&dev, 0x5A);
+        let w = dev
+            .host_write_page(Lpn(0), Some(&data), SimTime::ZERO)
+            .unwrap();
+        let mut t = w.end;
+        let mut served = 0u32;
+        for _ in 0..64 {
+            match dev.host_read_page(Lpn(0), t) {
+                Ok((r, out)) => {
+                    assert_eq!(out.unwrap().as_ref(), &data[..]);
+                    served += 1;
+                    t = r.end;
+                }
+                Err(SsdError::UncorrectableRead { lpn, attempts }) => {
+                    assert_eq!(lpn, Lpn(0));
+                    assert_eq!(attempts, READ_RETRY_LIMIT + 1);
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(served > 0, "retries must mask some faults");
+        assert!(dev.stats().read_retries.get() > 0);
+
+        // Rate 1.0: every attempt fails, the typed error always surfaces
+        // and each failure burned the full retry budget.
+        let certain = FaultConfig {
+            read_uncorrectable: 1.0,
+            ..fault
+        };
+        let mut dev = Device::new_functional(SsdConfig::tiny().with_fault(certain));
+        let w = dev
+            .host_write_page(Lpn(1), Some(&data), SimTime::ZERO)
+            .unwrap();
+        let err = dev.host_read_page(Lpn(1), w.end).unwrap_err();
+        assert!(matches!(err, SsdError::UncorrectableRead { .. }));
+        assert_eq!(dev.stats().uncorrectable_reads.get(), 1);
+        assert_eq!(dev.stats().read_retries.get(), READ_RETRY_LIMIT as u64);
+    }
+
+    #[test]
+    fn erase_failures_retire_gc_victims() {
+        use nandsim::FaultConfig;
+        // Every retirement is permanent, so the rate must stay below what
+        // the tiny device's over-provisioning can absorb over the run.
+        let fault = FaultConfig {
+            seed: 77,
+            program_fail: 0.0,
+            erase_fail: 0.02,
+            read_uncorrectable: 0.0,
+            wear_coupling: false,
+        };
+        let mut dev = Device::new_functional(SsdConfig::tiny().with_fault(fault));
+        // GC-heavy workload: rewrite a majority working set repeatedly.
+        let lpns = (dev.logical_pages() * 3) / 5;
+        let data = page(&dev, 0xEE);
+        let mut t = SimTime::ZERO;
+        for _ in 0..4 {
+            for i in 0..lpns {
+                dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
+                t += simkit::SimDuration::from_us(1);
+            }
+        }
+        assert!(
+            dev.stats().erase_failures.get() > 0,
+            "erase faults must fire"
+        );
+        assert!(
+            dev.stats().retired_blocks.get() > 0,
+            "failed erases retire blocks"
+        );
+        assert!(
+            dev.stats().erases.get() > 0,
+            "successful GC continues regardless"
+        );
+        // Data stays intact through retirement.
+        let (_, out) = dev.host_read_page(Lpn(0), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &data[..]);
+    }
+
+    #[test]
+    fn same_fault_seed_reproduces_identical_device_state() {
+        use nandsim::FaultConfig;
+        let run = |seed: u64| {
+            let fault = FaultConfig {
+                seed,
+                program_fail: 0.03,
+                erase_fail: 0.02,
+                read_uncorrectable: 0.01,
+                wear_coupling: false,
+            };
+            let mut dev = Device::new_functional(SsdConfig::tiny().with_fault(fault));
+            let mut t = SimTime::ZERO;
+            for i in 0..500u64 {
+                let data = vec![(i & 0xFF) as u8; dev.page_bytes()];
+                let w = dev.host_write_page(Lpn(i % 40), Some(&data), t).unwrap();
+                t = w.end;
+                if i % 7 == 0 {
+                    // Reads may legitimately stay uncorrectable; either
+                    // outcome must reproduce.
+                    let _ = dev.host_read_page(Lpn(i % 40), t);
+                }
+            }
+            let retired: Vec<u64> = dev
+                .channels()
+                .iter()
+                .flat_map(|c| c.dies())
+                .map(Die::retired_blocks)
+                .collect();
+            (
+                t,
+                dev.quiesce_time(),
+                retired,
+                dev.stats().program_failures.get(),
+                dev.stats().erase_failures.get(),
+                dev.stats().read_retries.get(),
+                dev.total_erases(),
+            )
+        };
+        assert_eq!(run(42), run(42), "same seed ⇒ identical final state");
+        assert_ne!(
+            run(42).3,
+            run(43).3,
+            "different seeds ⇒ different fault sequences"
+        );
+    }
+
+    #[test]
+    fn inactive_fault_config_is_timing_identical_to_none() {
+        use nandsim::FaultConfig;
+        let run = |cfg: SsdConfig| {
+            let mut dev = Device::new(cfg);
+            let mut t = SimTime::ZERO;
+            for i in 0..300u64 {
+                let w = dev.host_write_page(Lpn(i % 50), None, t).unwrap();
+                t = w.end;
+            }
+            (t, dev.quiesce_time(), dev.total_erases())
+        };
+        let plain = run(SsdConfig::tiny());
+        let zero_rate = run(SsdConfig::tiny().with_fault(FaultConfig::uniform(99, 0.0)));
+        assert_eq!(plain, zero_rate, "zero-rate faults must not perturb timing");
+    }
+
+    #[test]
+    fn fault_events_appear_in_trace_and_gantt() {
+        use crate::trace::gantt;
+        use nandsim::FaultConfig;
+        let fault = FaultConfig {
+            seed: 5,
+            program_fail: 0.3,
+            erase_fail: 0.0,
+            read_uncorrectable: 0.0,
+            wear_coupling: false,
+        };
+        let mut dev = Device::new(SsdConfig::tiny().with_fault(fault));
+        dev.enable_trace(4096);
+        let mut t = SimTime::ZERO;
+        for i in 0..64u64 {
+            let w = dev.host_write_page(Lpn(i), None, t).unwrap();
+            t = w.end;
+        }
+        let events = dev.trace_events().unwrap();
+        let fails = events
+            .iter()
+            .filter(|e| e.kind == OpKind::ProgramFail)
+            .count();
+        assert!(fails > 0, "program failures must be traced");
+        assert_eq!(fails as u64, dev.stats().program_failures.get());
+        let g = gantt(&events, simkit::SimDuration::from_us(200), 120);
+        assert!(g.contains('x'), "fault glyph missing from gantt:\n{g}");
     }
 
     #[test]

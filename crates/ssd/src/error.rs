@@ -31,6 +31,16 @@ pub enum SsdError {
         /// Page size.
         want: usize,
     },
+    /// A read stayed ECC-uncorrectable after the device exhausted its
+    /// bounded read-retries — the media fault could not be masked and the
+    /// page's data is lost. Clients with redundancy (the in-storage
+    /// optimizer replays the update group) recover above this layer.
+    UncorrectableRead {
+        /// The logical page whose data is unreadable.
+        lpn: Lpn,
+        /// Read attempts performed (initial read plus retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SsdError {
@@ -47,6 +57,9 @@ impl fmt::Display for SsdError {
             }
             SsdError::WrongLength { got, want } => {
                 write!(f, "page data is {got} bytes, expected {want}")
+            }
+            SsdError::UncorrectableRead { lpn, attempts } => {
+                write!(f, "{lpn} uncorrectable after {attempts} read attempts")
             }
         }
     }
@@ -74,7 +87,10 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = SsdError::LpnOutOfRange { lpn: Lpn(9), capacity: 4 };
+        let e = SsdError::LpnOutOfRange {
+            lpn: Lpn(9),
+            capacity: 4,
+        };
         assert!(e.to_string().contains("lpn9"));
         let nand = SsdError::from(NandError::ReadUnwritten(PhysPage {
             plane: 0,
@@ -84,5 +100,10 @@ mod tests {
         assert!(nand.to_string().contains("unwritten"));
         assert!(Error::source(&nand).is_some());
         assert!(Error::source(&SsdError::Unmapped(Lpn(1))).is_none());
+        let unc = SsdError::UncorrectableRead {
+            lpn: Lpn(2),
+            attempts: 5,
+        };
+        assert!(unc.to_string().contains("5 read attempts"));
     }
 }

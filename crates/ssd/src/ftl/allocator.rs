@@ -54,6 +54,31 @@ impl DieAlloc {
         self.free[block.plane as usize].push(block.block);
     }
 
+    /// Removes a block from allocation permanently (the device retired it
+    /// after a media fault). The block may be a plane's active block or sit
+    /// in its free pool; afterwards its pages are never handed out again.
+    pub fn discard_block(&mut self, block: BlockAddr) {
+        let plane = block.plane as usize;
+        if self.actives[plane] == Some(block) {
+            self.actives[plane] = None;
+        }
+        self.free[plane].retain(|&b| b != block.block);
+    }
+
+    /// Next physical page on a *specific* plane, falling back to any plane
+    /// when it has nothing left. Media-fault recovery re-homes a failed
+    /// program plane-locally when possible so the remap costs no extra
+    /// plane switch.
+    pub fn next_page_preferring(
+        &mut self,
+        plane: u32,
+        die: &Die,
+        wear_leveling: bool,
+    ) -> Option<PhysPage> {
+        self.next_page_on_plane(plane, die, wear_leveling)
+            .or_else(|| self.next_page(die, wear_leveling))
+    }
+
     /// Next physical page to program on this die.
     ///
     /// Planes are visited round-robin so a write stream stripes across all
@@ -186,7 +211,8 @@ mod tests {
         // Erase block 0 of every plane five times so they carry wear.
         for plane in 0..d.config().geometry.planes {
             for _ in 0..5 {
-                d.erase_block(BlockAddr { plane, block: 0 }, SimTime::ZERO).unwrap();
+                d.erase_block(BlockAddr { plane, block: 0 }, SimTime::ZERO)
+                    .unwrap();
             }
         }
         let mut a = DieAlloc::new(&d);
@@ -204,6 +230,49 @@ mod tests {
         let last = d.config().geometry.blocks_per_plane - 1;
         let p = a.next_page(&d, false).unwrap();
         assert_eq!(p.block, last);
+    }
+
+    #[test]
+    fn discard_removes_active_and_pooled_blocks() {
+        let mut d = die();
+        let mut a = DieAlloc::new(&d);
+        let total = a.free_blocks();
+        // Open an active block on plane 0.
+        let p = a.next_page(&d, true).unwrap();
+        d.program_page(p, SimTime::ZERO, None).unwrap();
+        let active = p.block_addr();
+        a.discard_block(active);
+        assert_eq!(a.active_block_on(active.plane), None);
+        // Discard a never-opened pool block too.
+        let pooled = BlockAddr { plane: 1, block: 5 };
+        a.discard_block(pooled);
+        assert_eq!(a.free_blocks(), total - 2);
+        // Neither block is ever allocated again.
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = a.next_page(&d, true) {
+            d.program_page(p, SimTime::ZERO, None).unwrap();
+            seen.insert(p.block_addr());
+        }
+        assert!(!seen.contains(&active));
+        assert!(!seen.contains(&pooled));
+    }
+
+    #[test]
+    fn preferring_allocation_stays_plane_local_until_dry() {
+        let mut d = die();
+        let mut a = DieAlloc::new(&d);
+        let p = a.next_page_preferring(1, &d, true).unwrap();
+        assert_eq!(p.plane, 1);
+        d.program_page(p, SimTime::ZERO, None).unwrap();
+        // Drain plane 1 completely: the preference falls back to plane 0.
+        loop {
+            let q = a.next_page_preferring(1, &d, true).unwrap();
+            d.program_page(q, SimTime::ZERO, None).unwrap();
+            if q.plane != 1 {
+                assert_eq!(q.plane, 0);
+                break;
+            }
+        }
     }
 
     #[test]

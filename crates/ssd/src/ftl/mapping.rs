@@ -130,8 +130,15 @@ mod tests {
 
     fn ppa(ch: u32, die: u32, block: u32, page: u32) -> Ppa {
         Ppa {
-            die: DieId { channel: ch, index: die },
-            page: PhysPage { plane: 0, block, page },
+            die: DieId {
+                channel: ch,
+                index: die,
+            },
+            page: PhysPage {
+                plane: 0,
+                block,
+                page,
+            },
         }
     }
 

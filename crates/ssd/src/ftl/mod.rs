@@ -72,13 +72,36 @@ impl Ftl {
         self.alloc[die_flat as usize].next_page(die, wear_leveling)
     }
 
+    /// Picks the next physical page on `die`, preferring `plane` (used by
+    /// media-fault recovery to re-home a failed program plane-locally).
+    pub fn allocate_page_preferring(
+        &mut self,
+        die_flat: u32,
+        die: &Die,
+        plane: u32,
+        wear_leveling: bool,
+    ) -> Option<nandsim::PhysPage> {
+        self.alloc[die_flat as usize].next_page_preferring(plane, die, wear_leveling)
+    }
+
+    /// Removes a retired block from allocation permanently. Its reverse
+    /// mappings stay until the rescue relocation supersedes them — retired
+    /// blocks are never erased, so stale entries are unreachable.
+    pub fn discard_block(&mut self, die_flat: u32, block: nandsim::BlockAddr) {
+        self.alloc[die_flat as usize].discard_block(block);
+    }
+
     /// Commits a completed program: maps `lpn → ppa`, records the reverse
     /// mapping, and returns the stale previous mapping (whose page the
     /// caller must invalidate on its die).
     pub fn commit_program(&mut self, lpn: Lpn, ppa: Ppa) -> Option<Ppa> {
         let die_flat = ppa.die.flat(self.dies_per_channel);
-        self.rmap
-            .set(die_flat, rmap_key(ppa.page.block_addr()), ppa.page.page, lpn);
+        self.rmap.set(
+            die_flat,
+            rmap_key(ppa.page.block_addr()),
+            ppa.page.page,
+            lpn,
+        );
         self.l2p.set(lpn, ppa)
     }
 
@@ -155,12 +178,18 @@ mod tests {
         let (_cfg, mut dies, mut ftl) = setup();
         let p1 = ftl.allocate_page(0, &dies[0], true).unwrap();
         dies[0].program_page(p1, SimTime::ZERO, None).unwrap();
-        let ppa1 = Ppa { die: DieId::from_flat(0, 2), page: p1 };
+        let ppa1 = Ppa {
+            die: DieId::from_flat(0, 2),
+            page: p1,
+        };
         ftl.commit_program(Lpn(7), ppa1);
 
         let p2 = ftl.allocate_page(0, &dies[0], true).unwrap();
         dies[0].program_page(p2, SimTime::ZERO, None).unwrap();
-        let ppa2 = Ppa { die: DieId::from_flat(0, 2), page: p2 };
+        let ppa2 = Ppa {
+            die: DieId::from_flat(0, 2),
+            page: p2,
+        };
         let stale = ftl.commit_program(Lpn(7), ppa2);
         assert_eq!(stale, Some(ppa1));
         assert_eq!(ftl.lookup(Lpn(7)), Some(ppa2));
@@ -182,8 +211,15 @@ mod tests {
     fn trim_unmaps() {
         let (_cfg, _dies, mut ftl) = setup();
         let ppa = Ppa {
-            die: DieId { channel: 0, index: 0 },
-            page: PhysPage { plane: 0, block: 0, page: 0 },
+            die: DieId {
+                channel: 0,
+                index: 0,
+            },
+            page: PhysPage {
+                plane: 0,
+                block: 0,
+                page: 0,
+            },
         };
         ftl.commit_program(Lpn(1), ppa);
         assert_eq!(ftl.trim(Lpn(1)), Some(ppa));

@@ -22,6 +22,12 @@
 //!   discipline rather than the raw saturating-stream API.
 //! * [`DeviceStats`] — write amplification, erase histograms, per-link
 //!   utilization; everything the evaluation section reports.
+//! * **Fault recovery** — when [`SsdConfig::fault`] arms seeded injection
+//!   (see [`nandsim::FaultConfig`]), the device recovers: failed programs
+//!   retire the block and re-home the page (rescuing the block's valid
+//!   pages), failed erases retire the GC victim, and uncorrectable reads
+//!   are retried with backoff before surfacing a typed
+//!   [`SsdError::UncorrectableRead`].
 //!
 //! ## Example
 //!
@@ -58,3 +64,7 @@ pub use device::Device;
 pub use error::SsdError;
 pub use nvme::NvmeQueue;
 pub use stats::{erase_histogram, wear_imbalance, DeviceStats, UtilizationReport};
+
+// Fault-injection configuration and counters, re-exported so clients that
+// arm [`SsdConfig::fault`] need not depend on `nandsim` directly.
+pub use nandsim::{FaultConfig, FaultStats};

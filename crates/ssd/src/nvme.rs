@@ -16,8 +16,8 @@ use crate::device::Device;
 use crate::error::SsdError;
 use bytes::Bytes;
 use simkit::{SimTime, Window};
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// A bounded-depth command queue over a [`Device`].
 #[derive(Debug)]
@@ -97,11 +97,7 @@ impl NvmeQueue {
     }
 
     /// Submits a page read (blocking on queue-full in simulated time).
-    pub fn read(
-        &mut self,
-        lpn: Lpn,
-        at: SimTime,
-    ) -> Result<(Window, Option<Bytes>), SsdError> {
+    pub fn read(&mut self, lpn: Lpn, at: SimTime) -> Result<(Window, Option<Bytes>), SsdError> {
         let start = self.admission(at);
         let (win, data) = self.device.host_read_page(lpn, start)?;
         self.record(win);

@@ -25,17 +25,37 @@ pub struct DeviceStats {
     pub pcie_in_busy: SimDuration,
     /// Cumulative busy time of the host link, outbound.
     pub pcie_out_busy: SimDuration,
+    /// Program operations that reported bad status (injected media faults).
+    pub program_failures: Counter,
+    /// Erase operations that reported bad status (injected media faults).
+    pub erase_failures: Counter,
+    /// Device-level read-retry attempts issued after uncorrectable reads.
+    pub read_retries: Counter,
+    /// Reads that stayed uncorrectable after all retries (surfaced to the
+    /// caller as [`crate::SsdError::UncorrectableRead`]).
+    pub uncorrectable_reads: Counter,
+    /// Blocks retired by the recovery policy after a media fault (wear-out
+    /// retirements inside the dies are not included).
+    pub retired_blocks: Counter,
+    /// Valid pages relocated off blocks the recovery policy retired.
+    pub rescue_copies: Counter,
 }
 
 impl DeviceStats {
     /// Write amplification factor: total pages programmed ÷ pages the host
-    /// (or NDP client) logically wrote. 1.0 is perfect; GC pushes it up.
+    /// (or NDP client) logically wrote. 1.0 is perfect; GC and fault
+    /// recovery push it up.
     pub fn waf(&self) -> f64 {
         let logical = self.user_programs.get() + self.ndp_programs.get();
         if logical == 0 {
             return 1.0;
         }
-        (logical + self.gc_copies.get()) as f64 / logical as f64
+        (logical + self.gc_copies.get() + self.rescue_copies.get()) as f64 / logical as f64
+    }
+
+    /// Total injected media faults the device observed.
+    pub fn media_faults(&self) -> u64 {
+        self.program_failures.get() + self.erase_failures.get() + self.uncorrectable_reads.get()
     }
 }
 
@@ -97,6 +117,17 @@ mod tests {
         s.ndp_programs.add(100);
         s.gc_copies.add(10);
         assert!((s.waf() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rescue_copies_raise_waf_like_gc() {
+        let mut s = DeviceStats::default();
+        s.user_programs.add(100);
+        s.rescue_copies.add(15);
+        assert!((s.waf() - 1.15).abs() < 1e-12);
+        s.program_failures.add(2);
+        s.uncorrectable_reads.add(1);
+        assert_eq!(s.media_faults(), 3);
     }
 
     #[test]

@@ -19,6 +19,15 @@ pub enum OpKind {
     Program,
     /// Block erase.
     Erase,
+    /// Program attempt that reported bad status (injected media fault);
+    /// recovery retired the block and re-homed the page.
+    ProgramFail,
+    /// Erase attempt that reported bad status (injected media fault);
+    /// recovery retired the victim block.
+    EraseFail,
+    /// Read attempt that came back ECC-uncorrectable (injected media
+    /// fault); the device re-issues the sense up to its retry bound.
+    ReadFail,
 }
 
 impl OpKind {
@@ -28,7 +37,18 @@ impl OpKind {
             OpKind::Read => 'r',
             OpKind::Program => 'P',
             OpKind::Erase => 'E',
+            OpKind::ProgramFail => 'x',
+            OpKind::EraseFail => 'X',
+            OpKind::ReadFail => '!',
         }
+    }
+
+    /// True for the fault-event kinds.
+    pub fn is_fault(self) -> bool {
+        matches!(
+            self,
+            OpKind::ProgramFail | OpKind::EraseFail | OpKind::ReadFail
+        )
     }
 }
 
@@ -145,18 +165,29 @@ pub fn gantt(events: &[TraceEvent], resolution: SimDuration, max_cols: usize) ->
         for e in events.iter().filter(|e| e.die_flat == die) {
             let c0 = ((e.start - t0).as_ns() / res_ns) as usize;
             let c1 = ((e.end - t0).as_ns().saturating_sub(1) / res_ns) as usize;
-            for cell in row.iter_mut().take(c1.min(max_cols - 1) + 1).skip(c0.min(max_cols - 1)) {
+            for cell in row
+                .iter_mut()
+                .take(c1.min(max_cols - 1) + 1)
+                .skip(c0.min(max_cols - 1))
+            {
                 let g = e.kind.glyph();
-                // Programs dominate reads dominate idle in a shared cell.
-                if *cell == ' '
-                    || (*cell == 'r' && g != 'r')
-                    || (g == 'E')
+                // Faults dominate programs dominate reads dominate idle in
+                // a shared cell — a fault must stay visible in the chart.
+                let cell_is_fault = matches!(*cell, 'x' | 'X' | '!');
+                if !cell_is_fault
+                    && (*cell == ' '
+                        || (*cell == 'r' && g != 'r')
+                        || (g == 'E')
+                        || e.kind.is_fault())
                 {
                     *cell = g;
                 }
             }
         }
-        out.push_str(&format!("die{die:<3} |{}|\n", row.iter().collect::<String>()));
+        out.push_str(&format!(
+            "die{die:<3} |{}|\n",
+            row.iter().collect::<String>()
+        ));
     }
     out
 }
@@ -192,9 +223,9 @@ mod tests {
     fn peak_concurrency_counts_overlap() {
         let events = [
             ev(OpKind::Read, 0, 0, 10),
-            ev(OpKind::Read, 0, 5, 15),   // overlaps the first
+            ev(OpKind::Read, 0, 5, 15),     // overlaps the first
             ev(OpKind::Program, 0, 20, 30), // disjoint
-            ev(OpKind::Read, 1, 0, 100),  // different die
+            ev(OpKind::Read, 1, 0, 100),    // different die
         ];
         assert_eq!(peak_concurrency(&events, 0), 2);
         assert_eq!(peak_concurrency(&events, 1), 1);
@@ -221,6 +252,25 @@ mod tests {
         assert!(lines[0].contains('r') && lines[0].contains('P'));
         assert!(lines[1].starts_with("die2"));
         assert!(!lines[1].contains('P'));
+    }
+
+    #[test]
+    fn fault_glyphs_stay_visible_in_gantt() {
+        let events = [
+            ev(OpKind::ProgramFail, 0, 0, 40),
+            ev(OpKind::Program, 0, 0, 40), // same cells, must not cover the fault
+            ev(OpKind::ReadFail, 0, 40, 80),
+        ];
+        let g = gantt(&events, SimDuration::from_us(40), 4);
+        assert!(g.contains('x'), "{g}");
+        assert!(g.contains('!'), "{g}");
+        assert!(
+            !g.contains('P'),
+            "program must not overwrite the fault: {g}"
+        );
+        assert!(OpKind::EraseFail.is_fault());
+        assert!(!OpKind::Erase.is_fault());
+        assert_eq!(OpKind::EraseFail.glyph(), 'X');
     }
 
     #[test]

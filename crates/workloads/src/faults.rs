@@ -1,0 +1,160 @@
+//! Named media-fault scenarios for the reliability experiments.
+//!
+//! The fault-sweep experiment (F24) and the recovery tests need the same
+//! seeded [`FaultConfig`] grids; defining them here keeps every consumer
+//! on identical rates and seeds, so rows printed by the sweep binary are
+//! reproducible across machines and sessions.
+
+use nandsim::FaultConfig;
+use serde::{Deserialize, Serialize};
+
+/// A seeded media-fault scenario plus the device age it models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Short display name for table rows.
+    pub name: &'static str,
+    /// Injection config to arm through `SsdConfig::fault`.
+    pub fault: FaultConfig,
+    /// Device age as a fraction of rated P/E cycles (0 = fresh, 1 = at
+    /// end of rated life). The experiment pre-ages the device with
+    /// `simulate_wear(pe_cycles(rated))` before measuring.
+    pub age_fraction: f64,
+}
+
+impl FaultScenario {
+    /// A fresh, fault-free device (the control row of every sweep).
+    pub fn pristine() -> Self {
+        FaultScenario {
+            name: "pristine",
+            fault: FaultConfig::disabled(),
+            age_fraction: 0.0,
+        }
+    }
+
+    /// Half-life device with occasional media faults — roughly one
+    /// program failure per hundred thousand programs, rarer erase
+    /// failures, and reads that only fail near the ECC ceiling.
+    pub fn midlife(seed: u64) -> Self {
+        FaultScenario {
+            name: "midlife",
+            fault: FaultConfig {
+                seed,
+                program_fail: 1e-5,
+                erase_fail: 1e-6,
+                read_uncorrectable: 1e-4,
+                wear_coupling: true,
+            },
+            age_fraction: 0.5,
+        }
+    }
+
+    /// End-of-rated-life device: every fault class is two orders of
+    /// magnitude more likely than at midlife, and wear coupling pushes
+    /// the effective rates higher still.
+    pub fn end_of_life(seed: u64) -> Self {
+        FaultScenario {
+            name: "end-of-life",
+            fault: FaultConfig {
+                seed,
+                program_fail: 1e-3,
+                erase_fail: 1e-4,
+                read_uncorrectable: 1e-2,
+                wear_coupling: true,
+            },
+            age_fraction: 1.0,
+        }
+    }
+
+    /// A sweep cell: one uniform raw rate across all fault classes at a
+    /// given age, wear-coupled. `rate == 0` produces an inactive config
+    /// (the fault-free column of the sweep).
+    pub fn swept(seed: u64, rate: f64, age_fraction: f64) -> Self {
+        FaultScenario {
+            name: "swept",
+            fault: FaultConfig {
+                seed,
+                program_fail: rate,
+                erase_fail: rate,
+                read_uncorrectable: rate,
+                wear_coupling: true,
+            },
+            age_fraction,
+        }
+    }
+
+    /// The P/E cycles this scenario's age corresponds to on a part rated
+    /// for `rated_pe` cycles.
+    pub fn pe_cycles(&self, rated_pe: u64) -> u64 {
+        (rated_pe as f64 * self.age_fraction) as u64
+    }
+}
+
+/// The raw per-operation fault rates the F24 sweep walks (first entry is
+/// the fault-free control).
+pub const SWEEP_RATES: [f64; 4] = [0.0, 1e-5, 1e-4, 1e-3];
+
+/// The device ages (fractions of rated P/E cycles) the F24 sweep walks.
+pub const SWEEP_AGES: [f64; 3] = [0.0, 0.5, 1.0];
+
+/// The full F24 grid — every rate at every age, each cell with its own
+/// seed derived from `seed` so dies fail independently across cells but
+/// the grid is reproducible as a whole.
+pub fn fault_sweep_grid(seed: u64) -> Vec<FaultScenario> {
+    let mut grid = Vec::with_capacity(SWEEP_AGES.len() * SWEEP_RATES.len());
+    for (i, &age) in SWEEP_AGES.iter().enumerate() {
+        for (j, &rate) in SWEEP_RATES.iter().enumerate() {
+            let cell_seed = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add((i as u64) << 32 | j as u64);
+            grid.push(FaultScenario::swept(cell_seed, rate, age));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate_and_order_by_severity() {
+        for s in [
+            FaultScenario::pristine(),
+            FaultScenario::midlife(7),
+            FaultScenario::end_of_life(7),
+        ] {
+            s.fault.validate().unwrap();
+        }
+        assert!(!FaultScenario::pristine().fault.is_active());
+        let mid = FaultScenario::midlife(7).fault;
+        let eol = FaultScenario::end_of_life(7).fault;
+        assert!(eol.program_fail > mid.program_fail);
+        assert!(eol.read_uncorrectable > mid.read_uncorrectable);
+    }
+
+    #[test]
+    fn grid_is_deterministic_and_valid() {
+        let a = fault_sweep_grid(24);
+        let b = fault_sweep_grid(24);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), SWEEP_AGES.len() * SWEEP_RATES.len());
+        for s in &a {
+            s.fault.validate().unwrap();
+        }
+        // Distinct seeds per cell keep die failures decorrelated.
+        let mut seeds: Vec<u64> = a.iter().map(|s| s.fault.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len());
+        // A different grid seed moves every cell seed.
+        let c = fault_sweep_grid(25);
+        assert_ne!(a[0].fault.seed, c[0].fault.seed);
+    }
+
+    #[test]
+    fn pe_cycles_scale_with_age() {
+        assert_eq!(FaultScenario::pristine().pe_cycles(3000), 0);
+        assert_eq!(FaultScenario::midlife(0).pe_cycles(3000), 1500);
+        assert_eq!(FaultScenario::end_of_life(0).pe_cycles(3000), 3000);
+    }
+}

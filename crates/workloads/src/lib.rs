@@ -16,14 +16,19 @@
 //! * [`QuadraticTask`] — a real (convex, known-optimum) objective so
 //!   end-to-end tests can verify that in-storage training *optimizes*,
 //!   not merely that its arithmetic matches a reference.
+//! * [`FaultScenario`] — named, seeded media-fault scenarios (and the F24
+//!   sweep grid) so the reliability experiments and the recovery tests
+//!   inject identical, reproducible fault streams.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod faults;
 mod gradients;
 mod slicing;
 mod task;
 
+pub use faults::{fault_sweep_grid, FaultScenario, SWEEP_AGES, SWEEP_RATES};
 pub use gradients::{GradientGen, WeightInit};
 pub use slicing::SlicedRun;
 pub use task::QuadraticTask;

@@ -99,7 +99,10 @@ mod tests {
             sim_params: 1000,
             scale: 4.0,
         };
-        assert_eq!(s.scale_duration(SimDuration::from_ms(10)), SimDuration::from_ms(40));
+        assert_eq!(
+            s.scale_duration(SimDuration::from_ms(10)),
+            SimDuration::from_ms(40)
+        );
         assert_eq!(s.scale_count(100), 400);
         assert_eq!(s.scale_f64(2.5), 10.0);
     }

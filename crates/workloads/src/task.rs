@@ -111,6 +111,10 @@ mod tests {
                 *w -= lr * g;
             }
         }
-        assert!(t.loss(&w) < initial * 1e-4, "loss {} from {initial}", t.loss(&w));
+        assert!(
+            t.loss(&w) < initial * 1e-4,
+            "loss {} from {initial}",
+            t.loss(&w)
+        );
     }
 }

@@ -40,7 +40,10 @@ fn main() {
     let mut reference = StateBuffers::init(&Adam::default(), &weights, GradDtype::F16);
 
     let gen = GradientGen::new(77);
-    println!("fine-tuning {params} params ({hot} hot / {} frozen), {steps} steps\n", params - hot);
+    println!(
+        "fine-tuning {params} params ({hot} hot / {} frozen), {steps} steps\n",
+        params - hot
+    );
 
     for step in 1..=steps {
         let mut grads = gen.generate(step, hot);
@@ -81,7 +84,9 @@ fn main() {
     let got = device.read_master_weights(now).unwrap();
     let expect = reference.weights_f32();
     assert!(
-        got.iter().zip(&expect).all(|(a, b)| a.to_bits() == b.to_bits()),
+        got.iter()
+            .zip(&expect)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
         "state diverged after GC"
     );
     println!("state verified bit-exact after {steps} steps of GC churn ✓");

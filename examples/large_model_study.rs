@@ -49,8 +49,7 @@ fn main() {
     println!("batch   fwd+bwd     host-offload iter   die-ndp iter   speedup");
     for batch in [1u32, 8, 32] {
         let compute = gpu.iteration_time(&model, batch);
-        let it_host =
-            IterationBreakdown::synchronous(compute, host.step_time(model.params()));
+        let it_host = IterationBreakdown::synchronous(compute, host.step_time(model.params()));
         let it_die = IterationBreakdown::synchronous(compute, die.step_time(model.params()));
         println!(
             "{batch:<6}  {:>8.2} s   {:>15.2} s   {:>10.2} s   {:.2}x",

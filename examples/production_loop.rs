@@ -29,14 +29,9 @@ fn main() {
         lr: 3e-2,
         ..AdamParams::default()
     });
-    let mut dev = OptimStoreDevice::new_functional(
-        SsdConfig::tiny(),
-        cfg,
-        n as u64,
-        Box::new(adam),
-        spec,
-    )
-    .unwrap();
+    let mut dev =
+        OptimStoreDevice::new_functional(SsdConfig::tiny(), cfg, n as u64, Box::new(adam), spec)
+            .unwrap();
 
     let schedule = LrSchedule::gpt3(3e-2, total_steps);
     let mut ef = ErrorFeedback::new(n, 0.1);

@@ -1,0 +1,156 @@
+//! Minimal stand-in for the `criterion` benchmarking crate.
+//!
+//! Benches keep their `criterion_group!`/`criterion_main!` structure; each
+//! `Bencher::iter` runs a short warm-up followed by a fixed measurement
+//! budget and prints mean time per iteration (plus throughput when set).
+//! No statistics beyond the mean — this harness exists so `cargo bench`
+//! works offline, not to replace criterion's analysis.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_millis(800);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendered from a single parameter.
+    pub fn from_parameter<D: Display>(p: D) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<D: Display, P: Display>(name: D, p: P) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+/// Passed to the closure given to `bench_function`; drives timing.
+pub struct Bencher {
+    throughput: Option<Throughput>,
+    label: String,
+}
+
+impl Bencher {
+    /// Times `f` under a warm-up + fixed-budget loop and prints the mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + WARMUP;
+        while Instant::now() < warm_until {
+            std_black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE {
+            std_black_box(f());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        let per_iter = total.as_secs_f64() / iters as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>10.1} Melem/s", n as f64 / per_iter / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>10.1} MB/s", n as f64 / per_iter / 1e6)
+            }
+            None => String::new(),
+        };
+        println!(
+            "bench {:<48} {:>12.3} µs/iter ({iters} iters){rate}",
+            self.label,
+            per_iter * 1e6,
+        );
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, id: D, mut f: F) {
+        let mut b = Bencher {
+            throughput: self.throughput,
+            label: format!("{}/{}", self.name, id),
+        };
+        f(&mut b);
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// The harness entry object.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group<D: Display>(&mut self, name: D) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(&mut self, id: D, mut f: F) {
+        let mut b = Bencher {
+            throughput: None,
+            label: id.to_string(),
+        };
+        f(&mut b);
+    }
+}
+
+/// Bundles benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,361 @@
+//! Minimal, deterministic stand-in for the `proptest` crate.
+//!
+//! Supports the surface this workspace uses: the `proptest! { ... }` macro
+//! with `#![proptest_config(...)]`, integer/float range strategies
+//! (exclusive and inclusive), tuple strategies, `prop::collection::vec`,
+//! `prop::num::f32::NORMAL`, `any::<T>()`, and the `prop_assert*` macros.
+//!
+//! Unlike real proptest there is no shrinking: inputs are drawn from a
+//! PRNG seeded from the test's module path and name, so every run of a
+//! given test explores the same inputs — failures reproduce immediately.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Per-run configuration: how many random cases each property executes.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of sampled cases.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The sampling PRNG handed to strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct SampleRng {
+    state: u64,
+}
+
+impl SampleRng {
+    /// A generator for one (test, case) pair.
+    pub fn new(seed: u64, case: u64) -> Self {
+        SampleRng {
+            state: splitmix(seed ^ splitmix(case.wrapping_add(0xA5A5_5A5A))),
+        }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix(self.state)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Stable per-test seed: FNV-1a over the test's full path.
+pub fn test_seed(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The produced type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut SampleRng) -> Self::Value;
+}
+
+macro_rules! uint_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = self.end as u128 - self.start as u128;
+                (self.start as u128 + rng.next_u64() as u128 % width) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let width = *self.end() as u128 - *self.start() as u128 + 1;
+                (*self.start() as u128 + rng.next_u64() as u128 % width) as $t
+            }
+        }
+    )*};
+}
+uint_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = self.end as i128 - self.start as i128;
+                (self.start as i128 + (rng.next_u64() as u128 % width as u128) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                let width = *self.end() as i128 - *self.start() as i128 + 1;
+                (*self.start() as i128 + (rng.next_u64() as u128 % width as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut SampleRng) -> $t {
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!((A)(A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E)(
+    A, B, C, D, E, F
+));
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut SampleRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SampleRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SampleRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy wrapper produced by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut SampleRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SampleRng, Strategy};
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// A vector of `size.start..size.end` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SampleRng) -> Self::Value {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Numeric bit-pattern strategies.
+pub mod num {
+    /// f32 strategies.
+    pub mod f32 {
+        use crate::{SampleRng, Strategy};
+
+        /// Strategy over every *normal* (finite, non-subnormal) f32.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        /// Any normal f32, either sign, full exponent range.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f32;
+            fn sample(&self, rng: &mut SampleRng) -> f32 {
+                let bits = rng.next_u64();
+                let sign = ((bits >> 63) as u32) << 31;
+                let exp = (1 + (bits >> 32) as u32 % 254) << 23; // 1..=254
+                let mantissa = bits as u32 & 0x007F_FFFF;
+                f32::from_bits(sign | exp | mantissa)
+            }
+        }
+    }
+}
+
+/// Everything a test file needs.
+pub mod prelude {
+    pub use crate::any;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+
+    /// Namespaced strategy modules (`prop::collection`, `prop::num`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Defines property tests. Each function samples its parameters from
+/// strategies and runs its body for `cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr)) => {};
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __seed =
+                $crate::test_seed(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::SampleRng::new(__seed, __case as u64);
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            a in 3u64..10,
+            b in 1u16..=1000,
+            c in -5i64..5,
+            x in -2.0f32..2.0,
+        ) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((1..=1000).contains(&b));
+            prop_assert!((-5..5).contains(&c));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn vec_and_tuple_shapes(v in prop::collection::vec((0u8..3, 0u32..4), 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            for (a, b) in v {
+                prop_assert!(a < 3);
+                prop_assert!(b < 4);
+            }
+        }
+
+        #[test]
+        fn normal_floats_are_normal(x in prop::num::f32::NORMAL) {
+            prop_assert!(x.is_normal(), "{x} must be normal");
+        }
+
+        #[test]
+        fn any_compiles(byte in any::<u8>()) {
+            let _ = byte;
+        }
+    }
+
+    #[test]
+    fn determinism_across_rng_instances() {
+        let mut a = crate::SampleRng::new(7, 3);
+        let mut b = crate::SampleRng::new(7, 3);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal stand-in for `serde`. The workspace uses serde only as
+//! `#[derive(Serialize, Deserialize)]` markers on config/report structs;
+//! no code path serializes anything, so marker traits with blanket
+//! implementations plus no-op derives are fully sufficient.
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait; blanket-implemented for every type.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+// The derive macros share the trait names, exactly as real serde arranges
+// it: `use serde::{Serialize, Deserialize}` imports both namespaces.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,17 @@
+//! No-op `Serialize`/`Deserialize` derives for the local serde shim.
+//!
+//! The workspace derives these traits purely as documentation of intent —
+//! nothing actually serializes — and the shim's traits carry blanket
+//! implementations, so the derives can expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-2e573c6f0b90ddbb.d: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-2e573c6f0b90ddbb.rmeta: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+crates/bench/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-3f382874499134e4.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-3f382874499134e4: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/all_experiments-cc66d6ce4e4d00a1.d: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+/root/repo/target/debug/deps/liball_experiments-cc66d6ce4e4d00a1.rmeta: crates/bench/src/bin/all_experiments.rs Cargo.toml
+
+crates/bench/src/bin/all_experiments.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_experiments-e1a1d54dc127a5d6.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/debug/deps/all_experiments-e1a1d54dc127a5d6: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

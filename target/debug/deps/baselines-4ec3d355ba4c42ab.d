@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/baselines-4ec3d355ba4c42ab.d: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-4ec3d355ba4c42ab.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dram_offload.rs:
+crates/baselines/src/host_nvme.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

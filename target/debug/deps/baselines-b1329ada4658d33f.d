@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/baselines-b1329ada4658d33f.d: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+/root/repo/target/debug/deps/baselines-b1329ada4658d33f: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dram_offload.rs:
+crates/baselines/src/host_nvme.rs:

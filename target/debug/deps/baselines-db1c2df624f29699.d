@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-db1c2df624f29699.d: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+/root/repo/target/debug/deps/libbaselines-db1c2df624f29699.rlib: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+/root/repo/target/debug/deps/libbaselines-db1c2df624f29699.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dram_offload.rs:
+crates/baselines/src/host_nvme.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-21cbcb13d7853747.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/bytes-21cbcb13d7853747: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

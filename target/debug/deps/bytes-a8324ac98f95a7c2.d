@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bytes-a8324ac98f95a7c2.d: shims/bytes/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbytes-a8324ac98f95a7c2.rmeta: shims/bytes/src/lib.rs Cargo.toml
+
+shims/bytes/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bytes-a8d150d2b5fecc6c.d: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a8d150d2b5fecc6c.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a8d150d2b5fecc6c.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-8e0fc336224e708e.d: tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-8e0fc336224e708e: tests/convergence.rs
+
+tests/convergence.rs:

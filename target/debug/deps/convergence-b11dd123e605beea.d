@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/convergence-b11dd123e605beea.d: tests/convergence.rs
+
+/root/repo/target/debug/deps/convergence-b11dd123e605beea: tests/convergence.rs
+
+tests/convergence.rs:

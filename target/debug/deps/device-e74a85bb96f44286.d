@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/device-e74a85bb96f44286.d: crates/bench/benches/device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdevice-e74a85bb96f44286.rmeta: crates/bench/benches/device.rs Cargo.toml
+
+crates/bench/benches/device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

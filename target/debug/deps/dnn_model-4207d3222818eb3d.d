@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dnn_model-4207d3222818eb3d.d: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/dnn_model-4207d3222818eb3d: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/compute.rs:
+crates/dnn/src/footprint.rs:
+crates/dnn/src/partition.rs:
+crates/dnn/src/schedule.rs:
+crates/dnn/src/timeline.rs:
+crates/dnn/src/zoo.rs:

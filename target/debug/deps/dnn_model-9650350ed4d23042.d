@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dnn_model-9650350ed4d23042.d: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdnn_model-9650350ed4d23042.rmeta: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/compute.rs:
+crates/dnn/src/footprint.rs:
+crates/dnn/src/partition.rs:
+crates/dnn/src/schedule.rs:
+crates/dnn/src/timeline.rs:
+crates/dnn/src/zoo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

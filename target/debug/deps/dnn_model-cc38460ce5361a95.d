@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dnn_model-cc38460ce5361a95.d: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/libdnn_model-cc38460ce5361a95.rlib: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/debug/deps/libdnn_model-cc38460ce5361a95.rmeta: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/compute.rs:
+crates/dnn/src/footprint.rs:
+crates/dnn/src/partition.rs:
+crates/dnn/src/schedule.rs:
+crates/dnn/src/timeline.rs:
+crates/dnn/src/zoo.rs:

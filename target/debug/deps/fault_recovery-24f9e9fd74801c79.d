@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_recovery-24f9e9fd74801c79.d: tests/fault_recovery.rs
+
+/root/repo/target/debug/deps/fault_recovery-24f9e9fd74801c79: tests/fault_recovery.rs
+
+tests/fault_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fault_recovery-ff12f81e84bc92f3.d: tests/fault_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_recovery-ff12f81e84bc92f3.rmeta: tests/fault_recovery.rs Cargo.toml
+
+tests/fault_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_layout-1efa13d913c1d20a.d: crates/bench/src/bin/fig10_layout.rs
+
+/root/repo/target/debug/deps/fig10_layout-1efa13d913c1d20a: crates/bench/src/bin/fig10_layout.rs
+
+crates/bench/src/bin/fig10_layout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_layout-221f1ea5d6b11157.d: crates/bench/src/bin/fig10_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_layout-221f1ea5d6b11157.rmeta: crates/bench/src/bin/fig10_layout.rs Cargo.toml
+
+crates/bench/src/bin/fig10_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

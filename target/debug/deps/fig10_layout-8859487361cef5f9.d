@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10_layout-8859487361cef5f9.d: crates/bench/src/bin/fig10_layout.rs
+
+/root/repo/target/debug/deps/fig10_layout-8859487361cef5f9: crates/bench/src/bin/fig10_layout.rs
+
+crates/bench/src/bin/fig10_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_endurance-3d6b6955112b36c6.d: crates/bench/src/bin/fig11_endurance.rs
+
+/root/repo/target/debug/deps/fig11_endurance-3d6b6955112b36c6: crates/bench/src/bin/fig11_endurance.rs
+
+crates/bench/src/bin/fig11_endurance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11_endurance-712c8b29f212cd69.d: crates/bench/src/bin/fig11_endurance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11_endurance-712c8b29f212cd69.rmeta: crates/bench/src/bin/fig11_endurance.rs Cargo.toml
+
+crates/bench/src/bin/fig11_endurance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11_endurance-918aa521a326363f.d: crates/bench/src/bin/fig11_endurance.rs
+
+/root/repo/target/debug/deps/fig11_endurance-918aa521a326363f: crates/bench/src/bin/fig11_endurance.rs
+
+crates/bench/src/bin/fig11_endurance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_batch-197764d973f96da7.d: crates/bench/src/bin/fig12_batch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_batch-197764d973f96da7.rmeta: crates/bench/src/bin/fig12_batch.rs Cargo.toml
+
+crates/bench/src/bin/fig12_batch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

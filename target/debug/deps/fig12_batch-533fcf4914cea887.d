@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_batch-533fcf4914cea887.d: crates/bench/src/bin/fig12_batch.rs
+
+/root/repo/target/debug/deps/fig12_batch-533fcf4914cea887: crates/bench/src/bin/fig12_batch.rs
+
+crates/bench/src/bin/fig12_batch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_batch-89e76640fd2b3b7b.d: crates/bench/src/bin/fig12_batch.rs
+
+/root/repo/target/debug/deps/fig12_batch-89e76640fd2b3b7b: crates/bench/src/bin/fig12_batch.rs
+
+crates/bench/src/bin/fig12_batch.rs:

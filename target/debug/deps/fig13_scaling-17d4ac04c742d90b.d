@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_scaling-17d4ac04c742d90b.d: crates/bench/src/bin/fig13_scaling.rs
+
+/root/repo/target/debug/deps/fig13_scaling-17d4ac04c742d90b: crates/bench/src/bin/fig13_scaling.rs
+
+crates/bench/src/bin/fig13_scaling.rs:

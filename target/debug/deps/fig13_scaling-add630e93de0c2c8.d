@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_scaling-add630e93de0c2c8.d: crates/bench/src/bin/fig13_scaling.rs
+
+/root/repo/target/debug/deps/fig13_scaling-add630e93de0c2c8: crates/bench/src/bin/fig13_scaling.rs
+
+crates/bench/src/bin/fig13_scaling.rs:

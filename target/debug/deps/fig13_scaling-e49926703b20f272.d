@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_scaling-e49926703b20f272.d: crates/bench/src/bin/fig13_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_scaling-e49926703b20f272.rmeta: crates/bench/src/bin/fig13_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig13_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

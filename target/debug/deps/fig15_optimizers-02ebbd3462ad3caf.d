@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_optimizers-02ebbd3462ad3caf.d: crates/bench/src/bin/fig15_optimizers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_optimizers-02ebbd3462ad3caf.rmeta: crates/bench/src/bin/fig15_optimizers.rs Cargo.toml
+
+crates/bench/src/bin/fig15_optimizers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimizers-511ee3f91775317b.d: crates/bench/src/bin/fig15_optimizers.rs
+
+/root/repo/target/debug/deps/fig15_optimizers-511ee3f91775317b: crates/bench/src/bin/fig15_optimizers.rs
+
+crates/bench/src/bin/fig15_optimizers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_optimizers-c905b40a15537c9d.d: crates/bench/src/bin/fig15_optimizers.rs
+
+/root/repo/target/debug/deps/fig15_optimizers-c905b40a15537c9d: crates/bench/src/bin/fig15_optimizers.rs
+
+crates/bench/src/bin/fig15_optimizers.rs:

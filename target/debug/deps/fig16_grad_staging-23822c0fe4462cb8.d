@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_grad_staging-23822c0fe4462cb8.d: crates/bench/src/bin/fig16_grad_staging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_grad_staging-23822c0fe4462cb8.rmeta: crates/bench/src/bin/fig16_grad_staging.rs Cargo.toml
+
+crates/bench/src/bin/fig16_grad_staging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_grad_staging-5359f1538320bb9f.d: crates/bench/src/bin/fig16_grad_staging.rs
+
+/root/repo/target/debug/deps/fig16_grad_staging-5359f1538320bb9f: crates/bench/src/bin/fig16_grad_staging.rs
+
+crates/bench/src/bin/fig16_grad_staging.rs:

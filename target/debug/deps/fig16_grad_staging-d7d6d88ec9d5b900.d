@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_grad_staging-d7d6d88ec9d5b900.d: crates/bench/src/bin/fig16_grad_staging.rs
+
+/root/repo/target/debug/deps/fig16_grad_staging-d7d6d88ec9d5b900: crates/bench/src/bin/fig16_grad_staging.rs
+
+crates/bench/src/bin/fig16_grad_staging.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_sparse_updates-b562f6e9b2270abf.d: crates/bench/src/bin/fig17_sparse_updates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_sparse_updates-b562f6e9b2270abf.rmeta: crates/bench/src/bin/fig17_sparse_updates.rs Cargo.toml
+
+crates/bench/src/bin/fig17_sparse_updates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sparse_updates-c9805d014f806645.d: crates/bench/src/bin/fig17_sparse_updates.rs
+
+/root/repo/target/debug/deps/fig17_sparse_updates-c9805d014f806645: crates/bench/src/bin/fig17_sparse_updates.rs
+
+crates/bench/src/bin/fig17_sparse_updates.rs:

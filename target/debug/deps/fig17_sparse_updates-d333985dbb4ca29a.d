@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_sparse_updates-d333985dbb4ca29a.d: crates/bench/src/bin/fig17_sparse_updates.rs
+
+/root/repo/target/debug/deps/fig17_sparse_updates-d333985dbb4ca29a: crates/bench/src/bin/fig17_sparse_updates.rs
+
+crates/bench/src/bin/fig17_sparse_updates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_aging-086dd32c216f19b1.d: crates/bench/src/bin/fig18_aging.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_aging-086dd32c216f19b1.rmeta: crates/bench/src/bin/fig18_aging.rs Cargo.toml
+
+crates/bench/src/bin/fig18_aging.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

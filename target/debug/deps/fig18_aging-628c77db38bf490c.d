@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_aging-628c77db38bf490c.d: crates/bench/src/bin/fig18_aging.rs
+
+/root/repo/target/debug/deps/fig18_aging-628c77db38bf490c: crates/bench/src/bin/fig18_aging.rs
+
+crates/bench/src/bin/fig18_aging.rs:

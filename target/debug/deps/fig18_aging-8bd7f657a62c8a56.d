@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_aging-8bd7f657a62c8a56.d: crates/bench/src/bin/fig18_aging.rs
+
+/root/repo/target/debug/deps/fig18_aging-8bd7f657a62c8a56: crates/bench/src/bin/fig18_aging.rs
+
+crates/bench/src/bin/fig18_aging.rs:

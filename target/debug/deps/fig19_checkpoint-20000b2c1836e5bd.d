@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_checkpoint-20000b2c1836e5bd.d: crates/bench/src/bin/fig19_checkpoint.rs
+
+/root/repo/target/debug/deps/fig19_checkpoint-20000b2c1836e5bd: crates/bench/src/bin/fig19_checkpoint.rs
+
+crates/bench/src/bin/fig19_checkpoint.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_checkpoint-3693a02ee1c59d83.d: crates/bench/src/bin/fig19_checkpoint.rs
+
+/root/repo/target/debug/deps/fig19_checkpoint-3693a02ee1c59d83: crates/bench/src/bin/fig19_checkpoint.rs
+
+crates/bench/src/bin/fig19_checkpoint.rs:

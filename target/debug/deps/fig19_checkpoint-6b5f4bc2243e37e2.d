@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig19_checkpoint-6b5f4bc2243e37e2.d: crates/bench/src/bin/fig19_checkpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig19_checkpoint-6b5f4bc2243e37e2.rmeta: crates/bench/src/bin/fig19_checkpoint.rs Cargo.toml
+
+crates/bench/src/bin/fig19_checkpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

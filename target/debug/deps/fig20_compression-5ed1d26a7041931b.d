@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_compression-5ed1d26a7041931b.d: crates/bench/src/bin/fig20_compression.rs
+
+/root/repo/target/debug/deps/fig20_compression-5ed1d26a7041931b: crates/bench/src/bin/fig20_compression.rs
+
+crates/bench/src/bin/fig20_compression.rs:

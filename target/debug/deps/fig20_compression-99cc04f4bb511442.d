@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig20_compression-99cc04f4bb511442.d: crates/bench/src/bin/fig20_compression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig20_compression-99cc04f4bb511442.rmeta: crates/bench/src/bin/fig20_compression.rs Cargo.toml
+
+crates/bench/src/bin/fig20_compression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_compression-e3f8f298d9ad747a.d: crates/bench/src/bin/fig20_compression.rs
+
+/root/repo/target/debug/deps/fig20_compression-e3f8f298d9ad747a: crates/bench/src/bin/fig20_compression.rs
+
+crates/bench/src/bin/fig20_compression.rs:

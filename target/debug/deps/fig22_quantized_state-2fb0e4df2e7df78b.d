@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22_quantized_state-2fb0e4df2e7df78b.d: crates/bench/src/bin/fig22_quantized_state.rs
+
+/root/repo/target/debug/deps/fig22_quantized_state-2fb0e4df2e7df78b: crates/bench/src/bin/fig22_quantized_state.rs
+
+crates/bench/src/bin/fig22_quantized_state.rs:

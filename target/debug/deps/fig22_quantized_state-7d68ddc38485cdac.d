@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22_quantized_state-7d68ddc38485cdac.d: crates/bench/src/bin/fig22_quantized_state.rs
+
+/root/repo/target/debug/deps/fig22_quantized_state-7d68ddc38485cdac: crates/bench/src/bin/fig22_quantized_state.rs
+
+crates/bench/src/bin/fig22_quantized_state.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22_quantized_state-97f18aa111a331ac.d: crates/bench/src/bin/fig22_quantized_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22_quantized_state-97f18aa111a331ac.rmeta: crates/bench/src/bin/fig22_quantized_state.rs Cargo.toml
+
+crates/bench/src/bin/fig22_quantized_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig22_quantized_state-e8728115947f2796.d: crates/bench/src/bin/fig22_quantized_state.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig22_quantized_state-e8728115947f2796.rmeta: crates/bench/src/bin/fig22_quantized_state.rs Cargo.toml
+
+crates/bench/src/bin/fig22_quantized_state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23_scheduler_granularity-1d3987b1401b7a6b.d: crates/bench/src/bin/fig23_scheduler_granularity.rs
+
+/root/repo/target/debug/deps/fig23_scheduler_granularity-1d3987b1401b7a6b: crates/bench/src/bin/fig23_scheduler_granularity.rs
+
+crates/bench/src/bin/fig23_scheduler_granularity.rs:

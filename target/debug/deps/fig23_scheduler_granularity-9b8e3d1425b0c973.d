@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig23_scheduler_granularity-9b8e3d1425b0c973.d: crates/bench/src/bin/fig23_scheduler_granularity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig23_scheduler_granularity-9b8e3d1425b0c973.rmeta: crates/bench/src/bin/fig23_scheduler_granularity.rs Cargo.toml
+
+crates/bench/src/bin/fig23_scheduler_granularity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23_scheduler_granularity-c96a46368e1afa6c.d: crates/bench/src/bin/fig23_scheduler_granularity.rs
+
+/root/repo/target/debug/deps/fig23_scheduler_granularity-c96a46368e1afa6c: crates/bench/src/bin/fig23_scheduler_granularity.rs
+
+crates/bench/src/bin/fig23_scheduler_granularity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig24_fault_sweep-0030558c85edd3e8.d: crates/bench/src/bin/fig24_fault_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig24_fault_sweep-0030558c85edd3e8.rmeta: crates/bench/src/bin/fig24_fault_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig24_fault_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

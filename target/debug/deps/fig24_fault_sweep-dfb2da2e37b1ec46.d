@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig24_fault_sweep-dfb2da2e37b1ec46.d: crates/bench/src/bin/fig24_fault_sweep.rs
+
+/root/repo/target/debug/deps/fig24_fault_sweep-dfb2da2e37b1ec46: crates/bench/src/bin/fig24_fault_sweep.rs
+
+crates/bench/src/bin/fig24_fault_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_motivation-4d2718c8c1cf5a47.d: crates/bench/src/bin/fig3_motivation.rs
+
+/root/repo/target/debug/deps/fig3_motivation-4d2718c8c1cf5a47: crates/bench/src/bin/fig3_motivation.rs
+
+crates/bench/src/bin/fig3_motivation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_motivation-607d17af0948829b.d: crates/bench/src/bin/fig3_motivation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_motivation-607d17af0948829b.rmeta: crates/bench/src/bin/fig3_motivation.rs Cargo.toml
+
+crates/bench/src/bin/fig3_motivation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

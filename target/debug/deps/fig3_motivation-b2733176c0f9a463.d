@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_motivation-b2733176c0f9a463.d: crates/bench/src/bin/fig3_motivation.rs
+
+/root/repo/target/debug/deps/fig3_motivation-b2733176c0f9a463: crates/bench/src/bin/fig3_motivation.rs
+
+crates/bench/src/bin/fig3_motivation.rs:

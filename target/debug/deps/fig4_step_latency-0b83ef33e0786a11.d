@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_step_latency-0b83ef33e0786a11.d: crates/bench/src/bin/fig4_step_latency.rs
+
+/root/repo/target/debug/deps/fig4_step_latency-0b83ef33e0786a11: crates/bench/src/bin/fig4_step_latency.rs
+
+crates/bench/src/bin/fig4_step_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_step_latency-21e4c3f1f624a9be.d: crates/bench/src/bin/fig4_step_latency.rs
+
+/root/repo/target/debug/deps/fig4_step_latency-21e4c3f1f624a9be: crates/bench/src/bin/fig4_step_latency.rs
+
+crates/bench/src/bin/fig4_step_latency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_step_latency-949a83ee217c6e09.d: crates/bench/src/bin/fig4_step_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_step_latency-949a83ee217c6e09.rmeta: crates/bench/src/bin/fig4_step_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig4_step_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

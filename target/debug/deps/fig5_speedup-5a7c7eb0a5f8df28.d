@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_speedup-5a7c7eb0a5f8df28.d: crates/bench/src/bin/fig5_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_speedup-5a7c7eb0a5f8df28.rmeta: crates/bench/src/bin/fig5_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig5_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_speedup-62a3d9d06bfbe95c.d: crates/bench/src/bin/fig5_speedup.rs
+
+/root/repo/target/debug/deps/fig5_speedup-62a3d9d06bfbe95c: crates/bench/src/bin/fig5_speedup.rs
+
+crates/bench/src/bin/fig5_speedup.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_speedup-84629624e1540307.d: crates/bench/src/bin/fig5_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_speedup-84629624e1540307.rmeta: crates/bench/src/bin/fig5_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig5_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_speedup-a580896824ba9c79.d: crates/bench/src/bin/fig5_speedup.rs
+
+/root/repo/target/debug/deps/fig5_speedup-a580896824ba9c79: crates/bench/src/bin/fig5_speedup.rs
+
+crates/bench/src/bin/fig5_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_end_to_end-0edcf50536c97de4.d: crates/bench/src/bin/fig6_end_to_end.rs
+
+/root/repo/target/debug/deps/fig6_end_to_end-0edcf50536c97de4: crates/bench/src/bin/fig6_end_to_end.rs
+
+crates/bench/src/bin/fig6_end_to_end.rs:

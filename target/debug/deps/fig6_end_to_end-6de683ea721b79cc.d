@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_end_to_end-6de683ea721b79cc.d: crates/bench/src/bin/fig6_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_end_to_end-6de683ea721b79cc.rmeta: crates/bench/src/bin/fig6_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/fig6_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

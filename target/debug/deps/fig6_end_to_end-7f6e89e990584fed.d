@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_end_to_end-7f6e89e990584fed.d: crates/bench/src/bin/fig6_end_to_end.rs
+
+/root/repo/target/debug/deps/fig6_end_to_end-7f6e89e990584fed: crates/bench/src/bin/fig6_end_to_end.rs
+
+crates/bench/src/bin/fig6_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_parallelism-016a8910a26322d6.d: crates/bench/src/bin/fig7_parallelism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_parallelism-016a8910a26322d6.rmeta: crates/bench/src/bin/fig7_parallelism.rs Cargo.toml
+
+crates/bench/src/bin/fig7_parallelism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_parallelism-72b99edbeb011928.d: crates/bench/src/bin/fig7_parallelism.rs
+
+/root/repo/target/debug/deps/fig7_parallelism-72b99edbeb011928: crates/bench/src/bin/fig7_parallelism.rs
+
+crates/bench/src/bin/fig7_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_parallelism-bcce8337f08f2915.d: crates/bench/src/bin/fig7_parallelism.rs
+
+/root/repo/target/debug/deps/fig7_parallelism-bcce8337f08f2915: crates/bench/src/bin/fig7_parallelism.rs
+
+crates/bench/src/bin/fig7_parallelism.rs:

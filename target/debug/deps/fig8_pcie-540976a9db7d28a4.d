@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_pcie-540976a9db7d28a4.d: crates/bench/src/bin/fig8_pcie.rs
+
+/root/repo/target/debug/deps/fig8_pcie-540976a9db7d28a4: crates/bench/src/bin/fig8_pcie.rs
+
+crates/bench/src/bin/fig8_pcie.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8_pcie-930f494a59fcf5d7.d: crates/bench/src/bin/fig8_pcie.rs
+
+/root/repo/target/debug/deps/fig8_pcie-930f494a59fcf5d7: crates/bench/src/bin/fig8_pcie.rs
+
+crates/bench/src/bin/fig8_pcie.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_pcie-a7b1ecfc234b09c0.d: crates/bench/src/bin/fig8_pcie.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_pcie-a7b1ecfc234b09c0.rmeta: crates/bench/src/bin/fig8_pcie.rs Cargo.toml
+
+crates/bench/src/bin/fig8_pcie.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

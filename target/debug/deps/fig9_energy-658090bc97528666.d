@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-658090bc97528666.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-658090bc97528666: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

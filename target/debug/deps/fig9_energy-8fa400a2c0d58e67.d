@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9_energy-8fa400a2c0d58e67.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/debug/deps/fig9_energy-8fa400a2c0d58e67: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_equivalence-38674b86c396b34f.d: tests/functional_equivalence.rs
+
+/root/repo/target/debug/deps/functional_equivalence-38674b86c396b34f: tests/functional_equivalence.rs
+
+tests/functional_equivalence.rs:

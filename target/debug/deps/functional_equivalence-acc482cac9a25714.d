@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/functional_equivalence-acc482cac9a25714.d: tests/functional_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfunctional_equivalence-acc482cac9a25714.rmeta: tests/functional_equivalence.rs Cargo.toml
+
+tests/functional_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/functional_equivalence-b59c074843292ed7.d: tests/functional_equivalence.rs
+
+/root/repo/target/debug/deps/functional_equivalence-b59c074843292ed7: tests/functional_equivalence.rs
+
+tests/functional_equivalence.rs:

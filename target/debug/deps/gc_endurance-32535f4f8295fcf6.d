@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_endurance-32535f4f8295fcf6.d: tests/gc_endurance.rs
+
+/root/repo/target/debug/deps/gc_endurance-32535f4f8295fcf6: tests/gc_endurance.rs
+
+tests/gc_endurance.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gc_endurance-7e35919b19e1c17d.d: tests/gc_endurance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgc_endurance-7e35919b19e1c17d.rmeta: tests/gc_endurance.rs Cargo.toml
+
+tests/gc_endurance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gc_endurance-cd24e6190ab8e4c7.d: tests/gc_endurance.rs
+
+/root/repo/target/debug/deps/gc_endurance-cd24e6190ab8e4c7: tests/gc_endurance.rs
+
+tests/gc_endurance.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/optim_math-607a386535eeb403.d: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptim_math-607a386535eeb403.rmeta: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs Cargo.toml
+
+crates/optim/src/lib.rs:
+crates/optim/src/bf16.rs:
+crates/optim/src/f16.rs:
+crates/optim/src/hyper.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/compress.rs:
+crates/optim/src/kernels.rs:
+crates/optim/src/norms.rs:
+crates/optim/src/quant.rs:
+crates/optim/src/state.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/optim_math-8b372436a4745158.d: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs
+
+/root/repo/target/debug/deps/liboptim_math-8b372436a4745158.rlib: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs
+
+/root/repo/target/debug/deps/liboptim_math-8b372436a4745158.rmeta: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs
+
+crates/optim/src/lib.rs:
+crates/optim/src/bf16.rs:
+crates/optim/src/f16.rs:
+crates/optim/src/hyper.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/compress.rs:
+crates/optim/src/kernels.rs:
+crates/optim/src/norms.rs:
+crates/optim/src/quant.rs:
+crates/optim/src/state.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimstore-388a6dec484f77a0.d: src/lib.rs
+
+/root/repo/target/debug/deps/optimstore-388a6dec484f77a0: src/lib.rs
+
+src/lib.rs:

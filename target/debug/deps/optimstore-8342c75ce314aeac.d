@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/optimstore-8342c75ce314aeac.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboptimstore-8342c75ce314aeac.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboptimstore-8342c75ce314aeac.rmeta: src/lib.rs
+
+src/lib.rs:

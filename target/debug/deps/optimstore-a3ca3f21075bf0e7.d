@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/optimstore-a3ca3f21075bf0e7.d: src/lib.rs
+
+/root/repo/target/debug/deps/liboptimstore-a3ca3f21075bf0e7.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liboptimstore-a3ca3f21075bf0e7.rmeta: src/lib.rs
+
+src/lib.rs:

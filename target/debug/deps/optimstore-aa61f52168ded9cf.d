@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimstore-aa61f52168ded9cf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimstore-aa61f52168ded9cf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimstore-e632aa69fc686f11.d: src/lib.rs
+
+/root/repo/target/debug/deps/optimstore-e632aa69fc686f11: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/optimstore_bench-463bb1ba1ba28726.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimstore_bench-463bb1ba1ba28726.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

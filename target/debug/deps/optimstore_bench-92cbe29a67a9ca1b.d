@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/optimstore_bench-92cbe29a67a9ca1b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboptimstore_bench-92cbe29a67a9ca1b.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboptimstore_bench-92cbe29a67a9ca1b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/optimstore_bench-ce0eb4313752bc95.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboptimstore_bench-ce0eb4313752bc95.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/liboptimstore_bench-ce0eb4313752bc95.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/optimstore_bench-dd520be7657aa62d.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/optimstore_bench-dd520be7657aa62d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/optimstore_core-128cdb48a3612a60.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+/root/repo/target/debug/deps/liboptimstore_core-128cdb48a3612a60.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+/root/repo/target/debug/deps/liboptimstore_core-128cdb48a3612a60.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/layout.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/endurance.rs:
+crates/core/src/energy.rs:
+crates/core/src/protocol.rs:

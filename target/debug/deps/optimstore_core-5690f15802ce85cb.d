@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/optimstore_core-5690f15802ce85cb.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimstore_core-5690f15802ce85cb.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/layout.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/endurance.rs:
+crates/core/src/energy.rs:
+crates/core/src/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

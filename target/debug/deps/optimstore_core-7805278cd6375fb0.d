@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/optimstore_core-7805278cd6375fb0.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+/root/repo/target/debug/deps/optimstore_core-7805278cd6375fb0: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/layout.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/endurance.rs:
+crates/core/src/energy.rs:
+crates/core/src/protocol.rs:

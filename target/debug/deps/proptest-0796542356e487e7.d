@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-0796542356e487e7.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-0796542356e487e7: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

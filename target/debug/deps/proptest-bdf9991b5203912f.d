@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-bdf9991b5203912f.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bdf9991b5203912f.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-bdf9991b5203912f.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

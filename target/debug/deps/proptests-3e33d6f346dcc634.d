@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-3e33d6f346dcc634.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-3e33d6f346dcc634: tests/proptests.rs
+
+tests/proptests.rs:

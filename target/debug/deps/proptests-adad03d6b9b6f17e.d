@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-adad03d6b9b6f17e.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-adad03d6b9b6f17e: tests/proptests.rs
+
+tests/proptests.rs:

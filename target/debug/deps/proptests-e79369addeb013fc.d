@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptests-e79369addeb013fc.d: tests/proptests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptests-e79369addeb013fc.rmeta: tests/proptests.rs Cargo.toml
+
+tests/proptests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

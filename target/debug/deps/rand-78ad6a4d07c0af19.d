@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-78ad6a4d07c0af19.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-78ad6a4d07c0af19: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

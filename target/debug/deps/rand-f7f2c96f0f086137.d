@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-f7f2c96f0f086137.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f7f2c96f0f086137.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-f7f2c96f0f086137.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

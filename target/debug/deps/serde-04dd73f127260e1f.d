@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde-04dd73f127260e1f.d: shims/serde/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde-04dd73f127260e1f.rmeta: shims/serde/src/lib.rs Cargo.toml
+
+shims/serde/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

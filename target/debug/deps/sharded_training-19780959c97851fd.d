@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_training-19780959c97851fd.d: tests/sharded_training.rs
+
+/root/repo/target/debug/deps/sharded_training-19780959c97851fd: tests/sharded_training.rs
+
+tests/sharded_training.rs:

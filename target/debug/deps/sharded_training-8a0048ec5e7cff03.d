@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sharded_training-8a0048ec5e7cff03.d: tests/sharded_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsharded_training-8a0048ec5e7cff03.rmeta: tests/sharded_training.rs Cargo.toml
+
+tests/sharded_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sharded_training-bab93a83e902d862.d: tests/sharded_training.rs
+
+/root/repo/target/debug/deps/sharded_training-bab93a83e902d862: tests/sharded_training.rs
+
+tests/sharded_training.rs:

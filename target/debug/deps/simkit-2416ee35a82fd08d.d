@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/simkit-2416ee35a82fd08d.d: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-2416ee35a82fd08d.rlib: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/libsimkit-2416ee35a82fd08d.rmeta: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/stats.rs:

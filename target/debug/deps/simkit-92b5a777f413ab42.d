@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/simkit-92b5a777f413ab42.d: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsimkit-92b5a777f413ab42.rmeta: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs Cargo.toml
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

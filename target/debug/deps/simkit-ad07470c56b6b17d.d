@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/simkit-ad07470c56b6b17d.d: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+/root/repo/target/debug/deps/simkit-ad07470c56b6b17d: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/ssdsim-0e54ebc9389eb969.d: crates/ssd/src/lib.rs crates/ssd/src/address.rs crates/ssd/src/channel.rs crates/ssd/src/config.rs crates/ssd/src/device.rs crates/ssd/src/error.rs crates/ssd/src/nvme.rs crates/ssd/src/stats.rs crates/ssd/src/ftl/mod.rs crates/ssd/src/ftl/allocator.rs crates/ssd/src/ftl/mapping.rs crates/ssd/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libssdsim-0e54ebc9389eb969.rmeta: crates/ssd/src/lib.rs crates/ssd/src/address.rs crates/ssd/src/channel.rs crates/ssd/src/config.rs crates/ssd/src/device.rs crates/ssd/src/error.rs crates/ssd/src/nvme.rs crates/ssd/src/stats.rs crates/ssd/src/ftl/mod.rs crates/ssd/src/ftl/allocator.rs crates/ssd/src/ftl/mapping.rs crates/ssd/src/trace.rs Cargo.toml
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/address.rs:
+crates/ssd/src/channel.rs:
+crates/ssd/src/config.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/error.rs:
+crates/ssd/src/nvme.rs:
+crates/ssd/src/stats.rs:
+crates/ssd/src/ftl/mod.rs:
+crates/ssd/src/ftl/allocator.rs:
+crates/ssd/src/ftl/mapping.rs:
+crates/ssd/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

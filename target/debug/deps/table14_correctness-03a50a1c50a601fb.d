@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table14_correctness-03a50a1c50a601fb.d: crates/bench/src/bin/table14_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable14_correctness-03a50a1c50a601fb.rmeta: crates/bench/src/bin/table14_correctness.rs Cargo.toml
+
+crates/bench/src/bin/table14_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

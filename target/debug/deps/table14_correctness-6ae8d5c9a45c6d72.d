@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14_correctness-6ae8d5c9a45c6d72.d: crates/bench/src/bin/table14_correctness.rs
+
+/root/repo/target/debug/deps/table14_correctness-6ae8d5c9a45c6d72: crates/bench/src/bin/table14_correctness.rs
+
+crates/bench/src/bin/table14_correctness.rs:

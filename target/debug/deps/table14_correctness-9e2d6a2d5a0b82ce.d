@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table14_correctness-9e2d6a2d5a0b82ce.d: crates/bench/src/bin/table14_correctness.rs
+
+/root/repo/target/debug/deps/table14_correctness-9e2d6a2d5a0b82ce: crates/bench/src/bin/table14_correctness.rs
+
+crates/bench/src/bin/table14_correctness.rs:

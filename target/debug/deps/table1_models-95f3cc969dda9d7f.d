@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_models-95f3cc969dda9d7f.d: crates/bench/src/bin/table1_models.rs
+
+/root/repo/target/debug/deps/table1_models-95f3cc969dda9d7f: crates/bench/src/bin/table1_models.rs
+
+crates/bench/src/bin/table1_models.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_models-b9f7cdf2cacc4310.d: crates/bench/src/bin/table1_models.rs
+
+/root/repo/target/debug/deps/table1_models-b9f7cdf2cacc4310: crates/bench/src/bin/table1_models.rs
+
+crates/bench/src/bin/table1_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_models-f49f78613cad2e76.d: crates/bench/src/bin/table1_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_models-f49f78613cad2e76.rmeta: crates/bench/src/bin/table1_models.rs Cargo.toml
+
+crates/bench/src/bin/table1_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

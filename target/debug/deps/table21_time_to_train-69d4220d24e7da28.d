@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table21_time_to_train-69d4220d24e7da28.d: crates/bench/src/bin/table21_time_to_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable21_time_to_train-69d4220d24e7da28.rmeta: crates/bench/src/bin/table21_time_to_train.rs Cargo.toml
+
+crates/bench/src/bin/table21_time_to_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

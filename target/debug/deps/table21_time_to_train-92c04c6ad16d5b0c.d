@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table21_time_to_train-92c04c6ad16d5b0c.d: crates/bench/src/bin/table21_time_to_train.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable21_time_to_train-92c04c6ad16d5b0c.rmeta: crates/bench/src/bin/table21_time_to_train.rs Cargo.toml
+
+crates/bench/src/bin/table21_time_to_train.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table21_time_to_train-a43e5cb6d27583e6.d: crates/bench/src/bin/table21_time_to_train.rs
+
+/root/repo/target/debug/deps/table21_time_to_train-a43e5cb6d27583e6: crates/bench/src/bin/table21_time_to_train.rs
+
+crates/bench/src/bin/table21_time_to_train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table21_time_to_train-b0c232483371d8dd.d: crates/bench/src/bin/table21_time_to_train.rs
+
+/root/repo/target/debug/deps/table21_time_to_train-b0c232483371d8dd: crates/bench/src/bin/table21_time_to_train.rs
+
+crates/bench/src/bin/table21_time_to_train.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_ssd_config-7ff81cc3745af8a8.d: crates/bench/src/bin/table2_ssd_config.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_ssd_config-7ff81cc3745af8a8.rmeta: crates/bench/src/bin/table2_ssd_config.rs Cargo.toml
+
+crates/bench/src/bin/table2_ssd_config.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

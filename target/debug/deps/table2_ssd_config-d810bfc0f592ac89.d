@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_ssd_config-d810bfc0f592ac89.d: crates/bench/src/bin/table2_ssd_config.rs
+
+/root/repo/target/debug/deps/table2_ssd_config-d810bfc0f592ac89: crates/bench/src/bin/table2_ssd_config.rs
+
+crates/bench/src/bin/table2_ssd_config.rs:

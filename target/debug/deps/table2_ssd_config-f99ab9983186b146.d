@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_ssd_config-f99ab9983186b146.d: crates/bench/src/bin/table2_ssd_config.rs
+
+/root/repo/target/debug/deps/table2_ssd_config-f99ab9983186b146: crates/bench/src/bin/table2_ssd_config.rs
+
+crates/bench/src/bin/table2_ssd_config.rs:

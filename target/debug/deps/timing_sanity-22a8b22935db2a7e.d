@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_sanity-22a8b22935db2a7e.d: tests/timing_sanity.rs
+
+/root/repo/target/debug/deps/timing_sanity-22a8b22935db2a7e: tests/timing_sanity.rs
+
+tests/timing_sanity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timing_sanity-7af1a9123b306799.d: tests/timing_sanity.rs
+
+/root/repo/target/debug/deps/timing_sanity-7af1a9123b306799: tests/timing_sanity.rs
+
+tests/timing_sanity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/timing_sanity-efa5f773a5aa0e23.d: tests/timing_sanity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtiming_sanity-efa5f773a5aa0e23.rmeta: tests/timing_sanity.rs Cargo.toml
+
+tests/timing_sanity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

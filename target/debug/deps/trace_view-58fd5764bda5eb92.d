@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_view-58fd5764bda5eb92.d: crates/bench/src/bin/trace_view.rs
+
+/root/repo/target/debug/deps/trace_view-58fd5764bda5eb92: crates/bench/src/bin/trace_view.rs
+
+crates/bench/src/bin/trace_view.rs:

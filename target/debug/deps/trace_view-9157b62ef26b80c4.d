@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/trace_view-9157b62ef26b80c4.d: crates/bench/src/bin/trace_view.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtrace_view-9157b62ef26b80c4.rmeta: crates/bench/src/bin/trace_view.rs Cargo.toml
+
+crates/bench/src/bin/trace_view.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

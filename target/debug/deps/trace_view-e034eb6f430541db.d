@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/trace_view-e034eb6f430541db.d: crates/bench/src/bin/trace_view.rs
+
+/root/repo/target/debug/deps/trace_view-e034eb6f430541db: crates/bench/src/bin/trace_view.rs
+
+crates/bench/src/bin/trace_view.rs:

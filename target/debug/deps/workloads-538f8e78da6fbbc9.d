@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/workloads-538f8e78da6fbbc9.d: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+/root/repo/target/debug/deps/workloads-538f8e78da6fbbc9: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gradients.rs:
+crates/workloads/src/slicing.rs:
+crates/workloads/src/task.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/workloads-6a3f0fd9efb90f0d.d: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+/root/repo/target/debug/deps/libworkloads-6a3f0fd9efb90f0d.rlib: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+/root/repo/target/debug/deps/libworkloads-6a3f0fd9efb90f0d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gradients.rs:
+crates/workloads/src/slicing.rs:
+crates/workloads/src/task.rs:

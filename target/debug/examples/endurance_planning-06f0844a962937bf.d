@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance_planning-06f0844a962937bf.d: examples/endurance_planning.rs
+
+/root/repo/target/debug/examples/endurance_planning-06f0844a962937bf: examples/endurance_planning.rs
+
+examples/endurance_planning.rs:

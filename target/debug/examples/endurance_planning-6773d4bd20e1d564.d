@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/endurance_planning-6773d4bd20e1d564.d: examples/endurance_planning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libendurance_planning-6773d4bd20e1d564.rmeta: examples/endurance_planning.rs Cargo.toml
+
+examples/endurance_planning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/endurance_planning-bcf7d6b26a636cb4.d: examples/endurance_planning.rs
+
+/root/repo/target/debug/examples/endurance_planning-bcf7d6b26a636cb4: examples/endurance_planning.rs
+
+examples/endurance_planning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/finetune_frozen_layers-2342058f1930c817.d: examples/finetune_frozen_layers.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfinetune_frozen_layers-2342058f1930c817.rmeta: examples/finetune_frozen_layers.rs Cargo.toml
+
+examples/finetune_frozen_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

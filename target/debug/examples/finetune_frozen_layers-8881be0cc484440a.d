@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/finetune_frozen_layers-8881be0cc484440a.d: examples/finetune_frozen_layers.rs
+
+/root/repo/target/debug/examples/finetune_frozen_layers-8881be0cc484440a: examples/finetune_frozen_layers.rs
+
+examples/finetune_frozen_layers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/finetune_frozen_layers-dfe27e584e45f74a.d: examples/finetune_frozen_layers.rs
+
+/root/repo/target/debug/examples/finetune_frozen_layers-dfe27e584e45f74a: examples/finetune_frozen_layers.rs
+
+examples/finetune_frozen_layers.rs:

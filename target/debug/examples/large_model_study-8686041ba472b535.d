@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_model_study-8686041ba472b535.d: examples/large_model_study.rs
+
+/root/repo/target/debug/examples/large_model_study-8686041ba472b535: examples/large_model_study.rs
+
+examples/large_model_study.rs:

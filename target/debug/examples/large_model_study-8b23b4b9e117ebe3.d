@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/large_model_study-8b23b4b9e117ebe3.d: examples/large_model_study.rs
+
+/root/repo/target/debug/examples/large_model_study-8b23b4b9e117ebe3: examples/large_model_study.rs
+
+examples/large_model_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/large_model_study-fd82ae8310a548ab.d: examples/large_model_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/liblarge_model_study-fd82ae8310a548ab.rmeta: examples/large_model_study.rs Cargo.toml
+
+examples/large_model_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/production_loop-31ce7caac0566c1d.d: examples/production_loop.rs
+
+/root/repo/target/debug/examples/production_loop-31ce7caac0566c1d: examples/production_loop.rs
+
+examples/production_loop.rs:

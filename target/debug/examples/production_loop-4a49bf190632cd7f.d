@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/production_loop-4a49bf190632cd7f.d: examples/production_loop.rs
+
+/root/repo/target/debug/examples/production_loop-4a49bf190632cd7f: examples/production_loop.rs
+
+examples/production_loop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/production_loop-fd4387e7e2d2106c.d: examples/production_loop.rs Cargo.toml
+
+/root/repo/target/debug/examples/libproduction_loop-fd4387e7e2d2106c.rmeta: examples/production_loop.rs Cargo.toml
+
+examples/production_loop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

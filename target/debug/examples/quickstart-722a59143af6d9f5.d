@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-722a59143af6d9f5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-722a59143af6d9f5: examples/quickstart.rs
+
+examples/quickstart.rs:

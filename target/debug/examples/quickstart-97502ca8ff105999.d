@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-97502ca8ff105999.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-97502ca8ff105999: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_experiments-2972b72048a3b0d5.d: crates/bench/src/bin/all_experiments.rs
+
+/root/repo/target/release/deps/all_experiments-2972b72048a3b0d5: crates/bench/src/bin/all_experiments.rs
+
+crates/bench/src/bin/all_experiments.rs:

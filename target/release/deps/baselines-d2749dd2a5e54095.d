@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/baselines-d2749dd2a5e54095.d: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+/root/repo/target/release/deps/libbaselines-d2749dd2a5e54095.rlib: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+/root/repo/target/release/deps/libbaselines-d2749dd2a5e54095.rmeta: crates/baselines/src/lib.rs crates/baselines/src/dram_offload.rs crates/baselines/src/host_nvme.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/dram_offload.rs:
+crates/baselines/src/host_nvme.rs:

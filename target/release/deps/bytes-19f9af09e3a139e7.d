@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-19f9af09e3a139e7.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-19f9af09e3a139e7.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-19f9af09e3a139e7.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

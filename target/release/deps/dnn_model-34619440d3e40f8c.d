@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dnn_model-34619440d3e40f8c.d: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libdnn_model-34619440d3e40f8c.rlib: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+/root/repo/target/release/deps/libdnn_model-34619440d3e40f8c.rmeta: crates/dnn/src/lib.rs crates/dnn/src/compute.rs crates/dnn/src/footprint.rs crates/dnn/src/partition.rs crates/dnn/src/schedule.rs crates/dnn/src/timeline.rs crates/dnn/src/zoo.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/compute.rs:
+crates/dnn/src/footprint.rs:
+crates/dnn/src/partition.rs:
+crates/dnn/src/schedule.rs:
+crates/dnn/src/timeline.rs:
+crates/dnn/src/zoo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10_layout-c1623d4dd364a6b6.d: crates/bench/src/bin/fig10_layout.rs
+
+/root/repo/target/release/deps/fig10_layout-c1623d4dd364a6b6: crates/bench/src/bin/fig10_layout.rs
+
+crates/bench/src/bin/fig10_layout.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11_endurance-8426a94481cf207f.d: crates/bench/src/bin/fig11_endurance.rs
+
+/root/repo/target/release/deps/fig11_endurance-8426a94481cf207f: crates/bench/src/bin/fig11_endurance.rs
+
+crates/bench/src/bin/fig11_endurance.rs:

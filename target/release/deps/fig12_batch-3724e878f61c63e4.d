@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_batch-3724e878f61c63e4.d: crates/bench/src/bin/fig12_batch.rs
+
+/root/repo/target/release/deps/fig12_batch-3724e878f61c63e4: crates/bench/src/bin/fig12_batch.rs
+
+crates/bench/src/bin/fig12_batch.rs:

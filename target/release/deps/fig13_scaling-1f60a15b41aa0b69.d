@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_scaling-1f60a15b41aa0b69.d: crates/bench/src/bin/fig13_scaling.rs
+
+/root/repo/target/release/deps/fig13_scaling-1f60a15b41aa0b69: crates/bench/src/bin/fig13_scaling.rs
+
+crates/bench/src/bin/fig13_scaling.rs:

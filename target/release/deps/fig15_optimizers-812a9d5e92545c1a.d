@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_optimizers-812a9d5e92545c1a.d: crates/bench/src/bin/fig15_optimizers.rs
+
+/root/repo/target/release/deps/fig15_optimizers-812a9d5e92545c1a: crates/bench/src/bin/fig15_optimizers.rs
+
+crates/bench/src/bin/fig15_optimizers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_grad_staging-795bf0d5ebe98855.d: crates/bench/src/bin/fig16_grad_staging.rs
+
+/root/repo/target/release/deps/fig16_grad_staging-795bf0d5ebe98855: crates/bench/src/bin/fig16_grad_staging.rs
+
+crates/bench/src/bin/fig16_grad_staging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_sparse_updates-76ea1631e321eb12.d: crates/bench/src/bin/fig17_sparse_updates.rs
+
+/root/repo/target/release/deps/fig17_sparse_updates-76ea1631e321eb12: crates/bench/src/bin/fig17_sparse_updates.rs
+
+crates/bench/src/bin/fig17_sparse_updates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_aging-408e526eb3791812.d: crates/bench/src/bin/fig18_aging.rs
+
+/root/repo/target/release/deps/fig18_aging-408e526eb3791812: crates/bench/src/bin/fig18_aging.rs
+
+crates/bench/src/bin/fig18_aging.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_checkpoint-460ca574d4b16dce.d: crates/bench/src/bin/fig19_checkpoint.rs
+
+/root/repo/target/release/deps/fig19_checkpoint-460ca574d4b16dce: crates/bench/src/bin/fig19_checkpoint.rs
+
+crates/bench/src/bin/fig19_checkpoint.rs:

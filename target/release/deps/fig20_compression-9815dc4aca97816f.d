@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_compression-9815dc4aca97816f.d: crates/bench/src/bin/fig20_compression.rs
+
+/root/repo/target/release/deps/fig20_compression-9815dc4aca97816f: crates/bench/src/bin/fig20_compression.rs
+
+crates/bench/src/bin/fig20_compression.rs:

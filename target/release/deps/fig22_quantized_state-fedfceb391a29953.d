@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_quantized_state-fedfceb391a29953.d: crates/bench/src/bin/fig22_quantized_state.rs
+
+/root/repo/target/release/deps/fig22_quantized_state-fedfceb391a29953: crates/bench/src/bin/fig22_quantized_state.rs
+
+crates/bench/src/bin/fig22_quantized_state.rs:

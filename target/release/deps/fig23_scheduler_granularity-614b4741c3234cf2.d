@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig23_scheduler_granularity-614b4741c3234cf2.d: crates/bench/src/bin/fig23_scheduler_granularity.rs
+
+/root/repo/target/release/deps/fig23_scheduler_granularity-614b4741c3234cf2: crates/bench/src/bin/fig23_scheduler_granularity.rs
+
+crates/bench/src/bin/fig23_scheduler_granularity.rs:

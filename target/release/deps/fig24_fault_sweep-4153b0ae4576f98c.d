@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig24_fault_sweep-4153b0ae4576f98c.d: crates/bench/src/bin/fig24_fault_sweep.rs
+
+/root/repo/target/release/deps/fig24_fault_sweep-4153b0ae4576f98c: crates/bench/src/bin/fig24_fault_sweep.rs
+
+crates/bench/src/bin/fig24_fault_sweep.rs:

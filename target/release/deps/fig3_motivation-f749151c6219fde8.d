@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_motivation-f749151c6219fde8.d: crates/bench/src/bin/fig3_motivation.rs
+
+/root/repo/target/release/deps/fig3_motivation-f749151c6219fde8: crates/bench/src/bin/fig3_motivation.rs
+
+crates/bench/src/bin/fig3_motivation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_step_latency-14c21b2f35b905ce.d: crates/bench/src/bin/fig4_step_latency.rs
+
+/root/repo/target/release/deps/fig4_step_latency-14c21b2f35b905ce: crates/bench/src/bin/fig4_step_latency.rs
+
+crates/bench/src/bin/fig4_step_latency.rs:

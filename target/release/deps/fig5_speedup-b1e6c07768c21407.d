@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_speedup-b1e6c07768c21407.d: crates/bench/src/bin/fig5_speedup.rs
+
+/root/repo/target/release/deps/fig5_speedup-b1e6c07768c21407: crates/bench/src/bin/fig5_speedup.rs
+
+crates/bench/src/bin/fig5_speedup.rs:

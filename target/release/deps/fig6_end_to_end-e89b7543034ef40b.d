@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_end_to_end-e89b7543034ef40b.d: crates/bench/src/bin/fig6_end_to_end.rs
+
+/root/repo/target/release/deps/fig6_end_to_end-e89b7543034ef40b: crates/bench/src/bin/fig6_end_to_end.rs
+
+crates/bench/src/bin/fig6_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_parallelism-5be0bb418ee2df03.d: crates/bench/src/bin/fig7_parallelism.rs
+
+/root/repo/target/release/deps/fig7_parallelism-5be0bb418ee2df03: crates/bench/src/bin/fig7_parallelism.rs
+
+crates/bench/src/bin/fig7_parallelism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8_pcie-cb4827dac2d5804e.d: crates/bench/src/bin/fig8_pcie.rs
+
+/root/repo/target/release/deps/fig8_pcie-cb4827dac2d5804e: crates/bench/src/bin/fig8_pcie.rs
+
+crates/bench/src/bin/fig8_pcie.rs:

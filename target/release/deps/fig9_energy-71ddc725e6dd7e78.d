@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-71ddc725e6dd7e78.d: crates/bench/src/bin/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-71ddc725e6dd7e78: crates/bench/src/bin/fig9_energy.rs
+
+crates/bench/src/bin/fig9_energy.rs:

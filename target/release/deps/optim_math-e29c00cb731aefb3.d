@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/optim_math-e29c00cb731aefb3.d: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs
+
+/root/repo/target/release/deps/liboptim_math-e29c00cb731aefb3.rlib: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs
+
+/root/repo/target/release/deps/liboptim_math-e29c00cb731aefb3.rmeta: crates/optim/src/lib.rs crates/optim/src/bf16.rs crates/optim/src/f16.rs crates/optim/src/hyper.rs crates/optim/src/optimizer.rs crates/optim/src/compress.rs crates/optim/src/kernels.rs crates/optim/src/norms.rs crates/optim/src/quant.rs crates/optim/src/state.rs
+
+crates/optim/src/lib.rs:
+crates/optim/src/bf16.rs:
+crates/optim/src/f16.rs:
+crates/optim/src/hyper.rs:
+crates/optim/src/optimizer.rs:
+crates/optim/src/compress.rs:
+crates/optim/src/kernels.rs:
+crates/optim/src/norms.rs:
+crates/optim/src/quant.rs:
+crates/optim/src/state.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/optimstore-61c139f95c1bf205.d: src/lib.rs
+
+/root/repo/target/release/deps/liboptimstore-61c139f95c1bf205.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liboptimstore-61c139f95c1bf205.rmeta: src/lib.rs
+
+src/lib.rs:

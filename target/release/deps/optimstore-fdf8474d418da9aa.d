@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/optimstore-fdf8474d418da9aa.d: src/lib.rs
+
+/root/repo/target/release/deps/liboptimstore-fdf8474d418da9aa.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liboptimstore-fdf8474d418da9aa.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/optimstore_bench-5a1395f5cd815879.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/liboptimstore_bench-5a1395f5cd815879.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/liboptimstore_bench-5a1395f5cd815879.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/runners.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/runners.rs:
+crates/bench/src/table.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/optimstore_core-e94faa4370af06e5.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+/root/repo/target/release/deps/liboptimstore_core-e94faa4370af06e5.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+/root/repo/target/release/deps/liboptimstore_core-e94faa4370af06e5.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/exec.rs crates/core/src/layout.rs crates/core/src/report.rs crates/core/src/audit.rs crates/core/src/endurance.rs crates/core/src/energy.rs crates/core/src/protocol.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/exec.rs:
+crates/core/src/layout.rs:
+crates/core/src/report.rs:
+crates/core/src/audit.rs:
+crates/core/src/endurance.rs:
+crates/core/src/energy.rs:
+crates/core/src/protocol.rs:

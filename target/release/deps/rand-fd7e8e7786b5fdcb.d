@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fd7e8e7786b5fdcb.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fd7e8e7786b5fdcb.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fd7e8e7786b5fdcb.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/simkit-e1b9d8639d98f49d.d: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-e1b9d8639d98f49d.rlib: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+/root/repo/target/release/deps/libsimkit-e1b9d8639d98f49d.rmeta: crates/simkit/src/lib.rs crates/simkit/src/event.rs crates/simkit/src/resource.rs crates/simkit/src/time.rs crates/simkit/src/stats.rs
+
+crates/simkit/src/lib.rs:
+crates/simkit/src/event.rs:
+crates/simkit/src/resource.rs:
+crates/simkit/src/time.rs:
+crates/simkit/src/stats.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/ssdsim-ec02bf107a1e0f43.d: crates/ssd/src/lib.rs crates/ssd/src/address.rs crates/ssd/src/channel.rs crates/ssd/src/config.rs crates/ssd/src/device.rs crates/ssd/src/error.rs crates/ssd/src/nvme.rs crates/ssd/src/stats.rs crates/ssd/src/ftl/mod.rs crates/ssd/src/ftl/allocator.rs crates/ssd/src/ftl/mapping.rs crates/ssd/src/trace.rs
+
+/root/repo/target/release/deps/libssdsim-ec02bf107a1e0f43.rlib: crates/ssd/src/lib.rs crates/ssd/src/address.rs crates/ssd/src/channel.rs crates/ssd/src/config.rs crates/ssd/src/device.rs crates/ssd/src/error.rs crates/ssd/src/nvme.rs crates/ssd/src/stats.rs crates/ssd/src/ftl/mod.rs crates/ssd/src/ftl/allocator.rs crates/ssd/src/ftl/mapping.rs crates/ssd/src/trace.rs
+
+/root/repo/target/release/deps/libssdsim-ec02bf107a1e0f43.rmeta: crates/ssd/src/lib.rs crates/ssd/src/address.rs crates/ssd/src/channel.rs crates/ssd/src/config.rs crates/ssd/src/device.rs crates/ssd/src/error.rs crates/ssd/src/nvme.rs crates/ssd/src/stats.rs crates/ssd/src/ftl/mod.rs crates/ssd/src/ftl/allocator.rs crates/ssd/src/ftl/mapping.rs crates/ssd/src/trace.rs
+
+crates/ssd/src/lib.rs:
+crates/ssd/src/address.rs:
+crates/ssd/src/channel.rs:
+crates/ssd/src/config.rs:
+crates/ssd/src/device.rs:
+crates/ssd/src/error.rs:
+crates/ssd/src/nvme.rs:
+crates/ssd/src/stats.rs:
+crates/ssd/src/ftl/mod.rs:
+crates/ssd/src/ftl/allocator.rs:
+crates/ssd/src/ftl/mapping.rs:
+crates/ssd/src/trace.rs:

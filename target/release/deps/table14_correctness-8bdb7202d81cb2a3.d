@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table14_correctness-8bdb7202d81cb2a3.d: crates/bench/src/bin/table14_correctness.rs
+
+/root/repo/target/release/deps/table14_correctness-8bdb7202d81cb2a3: crates/bench/src/bin/table14_correctness.rs
+
+crates/bench/src/bin/table14_correctness.rs:

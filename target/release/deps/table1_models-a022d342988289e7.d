@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_models-a022d342988289e7.d: crates/bench/src/bin/table1_models.rs
+
+/root/repo/target/release/deps/table1_models-a022d342988289e7: crates/bench/src/bin/table1_models.rs
+
+crates/bench/src/bin/table1_models.rs:

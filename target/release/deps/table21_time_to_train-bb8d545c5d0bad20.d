@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table21_time_to_train-bb8d545c5d0bad20.d: crates/bench/src/bin/table21_time_to_train.rs
+
+/root/repo/target/release/deps/table21_time_to_train-bb8d545c5d0bad20: crates/bench/src/bin/table21_time_to_train.rs
+
+crates/bench/src/bin/table21_time_to_train.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_ssd_config-bfa3ea9d48e311c3.d: crates/bench/src/bin/table2_ssd_config.rs
+
+/root/repo/target/release/deps/table2_ssd_config-bfa3ea9d48e311c3: crates/bench/src/bin/table2_ssd_config.rs
+
+crates/bench/src/bin/table2_ssd_config.rs:

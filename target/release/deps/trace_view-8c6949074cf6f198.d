@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/trace_view-8c6949074cf6f198.d: crates/bench/src/bin/trace_view.rs
+
+/root/repo/target/release/deps/trace_view-8c6949074cf6f198: crates/bench/src/bin/trace_view.rs
+
+crates/bench/src/bin/trace_view.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/workloads-6b535d329f2879a6.d: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+/root/repo/target/release/deps/libworkloads-6b535d329f2879a6.rlib: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+/root/repo/target/release/deps/libworkloads-6b535d329f2879a6.rmeta: crates/workloads/src/lib.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/gradients.rs:
+crates/workloads/src/slicing.rs:
+crates/workloads/src/task.rs:

@@ -101,14 +101,9 @@ fn compressed_gradients_with_error_feedback_converge() {
         c.grad_topk_permille = Some(100); // transmit 10% of entries per step
         c
     };
-    let mut dev = OptimStoreDevice::new_functional(
-        SsdConfig::tiny(),
-        cfg,
-        n as u64,
-        Box::new(adam),
-        spec,
-    )
-    .unwrap();
+    let mut dev =
+        OptimStoreDevice::new_functional(SsdConfig::tiny(), cfg, n as u64, Box::new(adam), spec)
+            .unwrap();
     let w0 = vec![0.0f32; n];
     let initial = task.loss(&w0);
     let mut at = dev.load_weights(&w0, SimTime::ZERO).unwrap();

@@ -38,7 +38,12 @@ fn sustained_steps_survive_gc_bit_exactly() {
         let grads = gen.generate(step, PARAMS);
         at = dev.run_step(Some(&grads), at).unwrap().end;
         reference
-            .step(&adam, &encode_grads(&grads, GradDtype::F16), GradDtype::F16, step)
+            .step(
+                &adam,
+                &encode_grads(&grads, GradDtype::F16),
+                GradDtype::F16,
+                step,
+            )
             .unwrap();
     }
 
@@ -74,8 +79,7 @@ fn endurance_report_is_consistent_with_device_state() {
     assert!(report.wear_imbalance >= 1.0);
     assert!(report.projection.steps_to_exhaustion.is_finite());
     assert!(
-        report.projection.steps_to_exhaustion_imbalanced
-            <= report.projection.steps_to_exhaustion
+        report.projection.steps_to_exhaustion_imbalanced <= report.projection.steps_to_exhaustion
     );
     // Total erases recomputed from the rate must match the device.
     let total = (report.erases_per_step * STEPS as f64).round() as u64;
@@ -144,7 +148,9 @@ fn phantom_and_functional_agree_on_timing() {
     let weights = vec![0.1f32; params as usize];
     let f0 = functional.load_weights(&weights, SimTime::ZERO).unwrap();
     assert_eq!(t0, f0, "load completion must match");
-    let f1 = functional.run_step(Some(&vec![0.0; params as usize]), f0).unwrap();
+    let f1 = functional
+        .run_step(Some(&vec![0.0; params as usize]), f0)
+        .unwrap();
     assert_eq!(p1.duration, f1.duration, "step timing must match");
     assert_eq!(p1.traffic, f1.traffic, "traffic must match");
 }

@@ -4,9 +4,9 @@
 //! proves the partition arithmetic and per-shard layouts compose correctly.
 
 use optimstore::dnn_model::ZeroPartition;
+use optimstore::optim_math::norms::global_norm;
 use optimstore::optim_math::state::{GradDtype, StateLayoutSpec};
 use optimstore::optim_math::{Adam, OptimizerKind};
-use optimstore::optim_math::norms::global_norm;
 use optimstore::optimstore_core::{OptimStoreConfig, OptimStoreDevice};
 use optimstore::simkit::SimTime;
 use optimstore::ssdsim::SsdConfig;
@@ -58,7 +58,12 @@ fn sharded_fleet_matches_single_device_bit_exactly() {
     }
 
     for (i, (a, b)) in got.iter().zip(&expect).enumerate() {
-        assert_eq!(a.to_bits(), b.to_bits(), "param {i} (shard {})", part.owner_of(i as u64));
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "param {i} (shard {})",
+            part.owner_of(i as u64)
+        );
     }
 }
 

@@ -14,9 +14,27 @@ const CAP: u64 = 1 << 22;
 #[test]
 fn tier_ordering_holds_in_simulation() {
     let ssd = SsdConfig::base();
-    let host = run_host_nvme(&ssd, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
-    let ch = run_ndp(&ssd, &OptimStoreConfig::channel_ndp(), OptimizerKind::Adam, MODEL, CAP);
-    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let host = run_host_nvme(
+        &ssd,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let ch = run_ndp(
+        &ssd,
+        &OptimStoreConfig::channel_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let die = run_ndp(
+        &ssd,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     assert!(
         die.step_time < ch.step_time && ch.step_time < host.step_time,
         "expected die < channel < host, got {} / {} / {}",
@@ -33,16 +51,41 @@ fn tier_ordering_holds_in_simulation() {
 fn more_dies_make_die_ndp_faster_not_host() {
     let small = SsdConfig::small();
     let base = SsdConfig::base();
-    let die_small = run_ndp(&small, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
-    let die_base = run_ndp(&base, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let die_small = run_ndp(
+        &small,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let die_base = run_ndp(
+        &base,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     // 16 → 64 dies: near-linear internal scaling.
     let scale = die_small.step_time.as_secs_f64() / die_base.step_time.as_secs_f64();
-    assert!(scale > 3.0, "die-ndp scaling with 4x dies was only {scale:.2}x");
+    assert!(
+        scale > 3.0,
+        "die-ndp scaling with 4x dies was only {scale:.2}x"
+    );
 
-    let host_small =
-        run_host_nvme(&small, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
-    let host_base =
-        run_host_nvme(&base, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let host_small = run_host_nvme(
+        &small,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let host_base = run_host_nvme(
+        &base,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     let host_scale = host_small.step_time.as_secs_f64() / host_base.step_time.as_secs_f64();
     assert!(
         host_scale < scale,
@@ -57,8 +100,20 @@ fn host_improves_with_pcie_but_die_ndp_does_not_care() {
     let mut gen5 = SsdConfig::base();
     gen5.pcie = PciGen::Custom(16_000_000_000);
 
-    let host3 = run_host_nvme(&gen3, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
-    let host5 = run_host_nvme(&gen5, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let host3 = run_host_nvme(
+        &gen3,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let host5 = run_host_nvme(
+        &gen5,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     assert!(
         host5.step_time.as_secs_f64() < host3.step_time.as_secs_f64() * 0.8,
         "host must benefit substantially from faster PCIe: {} vs {}",
@@ -66,8 +121,20 @@ fn host_improves_with_pcie_but_die_ndp_does_not_care() {
         host5.step_time
     );
 
-    let die3 = run_ndp(&gen3, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
-    let die5 = run_ndp(&gen5, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let die3 = run_ndp(
+        &gen3,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let die5 = run_ndp(
+        &gen5,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     let change = (die3.step_time.as_secs_f64() - die5.step_time.as_secs_f64()).abs()
         / die5.step_time.as_secs_f64();
     assert!(
@@ -80,7 +147,13 @@ fn host_improves_with_pcie_but_die_ndp_does_not_care() {
 #[test]
 fn traffic_accounting_matches_state_arithmetic() {
     let ssd = SsdConfig::base();
-    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let die = run_ndp(
+        &ssd,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     // Adam: 12 B/param read, 14 B/param written, 2 B/param of gradient in.
     // Page padding inflates by < 1% at this scale.
     let tol = 0.02;
@@ -90,7 +163,13 @@ fn traffic_accounting_matches_state_arithmetic() {
     assert!((per_param(die.traffic.pcie_in) - 2.0).abs() / 2.0 < tol);
     assert_eq!(die.traffic.pcie_out, 0);
 
-    let host = run_host_nvme(&ssd, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let host = run_host_nvme(
+        &ssd,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     assert!((per_param(host.traffic.pcie_out) - 14.0).abs() / 14.0 < tol);
     assert!((per_param(host.traffic.pcie_in) - 14.0).abs() / 14.0 < tol);
 }
@@ -98,9 +177,27 @@ fn traffic_accounting_matches_state_arithmetic() {
 #[test]
 fn energy_hierarchy_holds() {
     let ssd = SsdConfig::base();
-    let die = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
-    let ch = run_ndp(&ssd, &OptimStoreConfig::channel_ndp(), OptimizerKind::Adam, MODEL, CAP);
-    let host = run_host_nvme(&ssd, &HostNvmeConfig::default(), OptimizerKind::Adam, MODEL, CAP);
+    let die = run_ndp(
+        &ssd,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let ch = run_ndp(
+        &ssd,
+        &OptimStoreConfig::channel_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let host = run_host_nvme(
+        &ssd,
+        &HostNvmeConfig::default(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     assert!(die.energy.total() < ch.energy.total());
     assert!(ch.energy.total() < host.energy.total());
     // Most of the host's energy is in moving bytes off-device.
@@ -110,8 +207,20 @@ fn energy_hierarchy_holds() {
 #[test]
 fn simulation_is_deterministic() {
     let ssd = SsdConfig::base();
-    let a = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
-    let b = run_ndp(&ssd, &OptimStoreConfig::die_ndp(), OptimizerKind::Adam, MODEL, CAP);
+    let a = run_ndp(
+        &ssd,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
+    let b = run_ndp(
+        &ssd,
+        &OptimStoreConfig::die_ndp(),
+        OptimizerKind::Adam,
+        MODEL,
+        CAP,
+    );
     assert_eq!(a.step_time, b.step_time);
     assert_eq!(a.traffic, b.traffic);
 }
