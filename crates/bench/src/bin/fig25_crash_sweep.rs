@@ -1,0 +1,11 @@
+//! Regenerates the reconstructed experiment `fig25_crash_sweep` (see
+//! DESIGN.md §4). The sweep is functional and fixed-size, so the
+//! parameter cap is accepted for interface symmetry but unused.
+
+fn main() {
+    let cap = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(optimstore_bench::runners::DEFAULT_SLICE_CAP);
+    optimstore_bench::experiments::fig25_crash_sweep(cap);
+}

@@ -1047,6 +1047,145 @@ pub fn fig24_fault_sweep(cap: u64) {
     );
 }
 
+/// F25 — crash-recovery sweep: sudden power loss at every schedule in
+/// [`workloads::crash_schedules`] (early-step, mid-step, write-back tail,
+/// mid-GC-erase, double-crash) across journal flush intervals.
+///
+/// Runs **functionally** on a deliberately small journaled device so GC
+/// is forced and recovery can be checked bit-for-bit: each row crashes a
+/// fresh device at the schedule's instant, mounts, replays the
+/// interrupted step, finishes training, and compares master weights
+/// against an uncrashed reference. The flush interval sweep exposes the
+/// commit-protocol trade-off — tight journaling shrinks the mount's OOB
+/// scan but spends more journal pages during normal operation (and the
+/// longer serial replay of those pages can itself dominate the mount).
+pub fn fig25_crash_sweep(_cap: u64) {
+    use ssdsim::trace::OpKind;
+    use ssdsim::{JournalConfig, PowerLossConfig, SsdError};
+    use workloads::{crash_schedules, CrashPhase};
+
+    header(
+        "F25",
+        "crash-recovery sweep: journal flush interval x crash schedule (functional, bit-exact)",
+    );
+    const PARAMS: u64 = 200_000;
+    const STEPS: u64 = 3;
+    let grad = |step: u64| GradientGen::new(0xF25).generate(step, PARAMS as usize);
+    let weights = WeightInit::default().generate(PARAMS as usize);
+    let make_dev = |interval: u32| {
+        let mut ssd = SsdConfig::tiny().with_journal(JournalConfig::every(interval));
+        // Small enough that three steps of state write-back force GC.
+        ssd.nand.geometry.blocks_per_plane = 12;
+        let (optimizer, spec) = optimizer_and_spec(ADAM);
+        OptimStoreDevice::new_functional(ssd, OptimStoreConfig::die_ndp(), PARAMS, optimizer, spec)
+            .unwrap()
+    };
+
+    let mut t = Table::new(&[
+        "flush int",
+        "schedule",
+        "crash in",
+        "journal pgs",
+        "scanned pgs",
+        "mount time",
+        "recovery",
+        "bit-exact",
+    ]);
+    // 16 is the tightest interval whose never-reclaimed journal blocks
+    // still fit on die 0 alongside three epochs of state.
+    for interval in [16u32, 64, 256] {
+        // Uncrashed reference: final weights, step windows, erase windows.
+        let mut refdev = make_dev(interval);
+        refdev.enable_trace(1 << 17);
+        let mut at = refdev.load_weights(&weights, SimTime::ZERO).unwrap();
+        let mut windows = Vec::new();
+        for step in 1..=STEPS {
+            let r = refdev.run_step(Some(&grad(step)), at).unwrap();
+            windows.push((r.start, r.end));
+            at = r.end;
+        }
+        let master_ref = refdev.read_master_weights(at).unwrap();
+        let erases: Vec<_> = refdev
+            .trace_events()
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == OpKind::Erase)
+            .map(|e| (e.start, e.end))
+            .collect();
+
+        for s in crash_schedules(25) {
+            let tc = match s.phase {
+                CrashPhase::Step { step } | CrashPhase::DuringMount { step } => {
+                    let (start, end) = windows[(step - 1) as usize];
+                    s.instant(start, end)
+                }
+                CrashPhase::WriteBack { step } => {
+                    let (start, end) = windows[(step - 1) as usize];
+                    s.instant(start + (end - start).saturating_mul(3) / 4, end)
+                }
+                CrashPhase::DuringGc => {
+                    let idx = ((s.fraction * erases.len() as f64) as usize)
+                        .min(erases.len().saturating_sub(1));
+                    let (start, end) = erases[idx];
+                    s.instant(start, end)
+                }
+            };
+            let mut dev = make_dev(interval);
+            let t0 = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+            dev.ssd_mut().arm_power_loss(PowerLossConfig::at(tc));
+            let mut at = t0;
+            let mut failed = 0;
+            for step in 1..=STEPS {
+                match dev.run_step(Some(&grad(step)), at) {
+                    Ok(r) => at = r.end,
+                    Err(optimstore_core::CoreError::Ssd(SsdError::PowerLoss { .. })) => {
+                        failed = step;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                }
+            }
+            assert!(failed > 0, "{}: armed crash never fired", s.name);
+            let crash_at = dev.ssd().power_failed_at().unwrap();
+            let journal_pages = dev.ssd().stats().journal_pages.get();
+            if matches!(s.phase, CrashPhase::DuringMount { .. }) {
+                // Double crash: kill the first mount partway through.
+                let m0 = crash_at + simkit::SimDuration::from_us(10);
+                dev.ssd_mut()
+                    .arm_power_loss(PowerLossConfig::at(m0 + simkit::SimDuration::from_us(50)));
+                assert!(dev.recover(Some(&grad(failed)), m0).is_err());
+            }
+            let mount_at = dev.ssd().power_failed_at().unwrap() + simkit::SimDuration::from_us(10);
+            let rec = dev.recover(Some(&grad(failed)), mount_at).unwrap();
+            let mut at = rec.end;
+            for step in (failed + 1)..=STEPS {
+                at = dev.run_step(Some(&grad(step)), at).unwrap().end;
+            }
+            let master = dev.read_master_weights(at).unwrap();
+            let exact = master
+                .iter()
+                .zip(&master_ref)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            t.row(&[
+                interval.to_string(),
+                s.name.into(),
+                format!("step {failed}"),
+                journal_pages.to_string(),
+                rec.mount.pages_scanned.to_string(),
+                fmt_secs((rec.mount.window.end - rec.mount.window.start).as_secs_f64()),
+                fmt_secs((rec.end - crash_at).as_secs_f64()),
+                if exact { "yes".into() } else { "NO".into() },
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(each row: fresh device, power cut at the schedule's instant, mount + \
+         replay + remaining steps; 'bit-exact' compares final master weights \
+         to the uncrashed reference)"
+    );
+}
+
 /// Runs every experiment (the `figures` bench target and the full harness
 /// binary both call this).
 pub fn run_all(cap: u64) {
@@ -1074,4 +1213,5 @@ pub fn run_all(cap: u64) {
     fig22_quantized_state();
     fig23_scheduler_granularity(cap);
     fig24_fault_sweep(cap);
+    fig25_crash_sweep(cap);
 }

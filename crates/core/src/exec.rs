@@ -16,7 +16,7 @@ use crate::config::{ExecutionTier, GradStaging, OptimStoreConfig};
 use crate::energy::{ActivityCounts, EnergyModel};
 use crate::layout::{StateComponent, StateLayout};
 use crate::protocol::UpdateCommand;
-use crate::report::{StepReport, TrafficBytes};
+use crate::report::{RecoveryReport, StepReport, TrafficBytes};
 use bytes::Bytes;
 use optim_math::kernels::{encode_grads, update_chunk};
 use optim_math::state::StateLayoutSpec;
@@ -212,6 +212,12 @@ impl OptimStoreDevice {
         &self.device
     }
 
+    /// The underlying SSD, mutable (crash-injection tests arm power loss
+    /// through this).
+    pub fn ssd_mut(&mut self) -> &mut Device {
+        &mut self.device
+    }
+
     /// Completed optimizer steps.
     pub fn step_count(&self) -> u64 {
         self.step
@@ -326,6 +332,10 @@ impl OptimStoreDevice {
             }
             let _ = ppg;
         }
+        // The initial load is epoch 0, implicitly committed; flushing its
+        // commit record makes the mapping journal-covered, so a crash
+        // before the first step mounts without a full OOB scan.
+        end = end.max(self.device.commit_epoch(end)?);
         Ok(end)
     }
 
@@ -348,6 +358,7 @@ impl OptimStoreDevice {
                 end = end.max(self.device.host_write_page(lpn, None, at)?.end);
             }
         }
+        end = end.max(self.device.commit_epoch(end)?);
         Ok(end)
     }
 
@@ -374,6 +385,10 @@ impl OptimStoreDevice {
             }
         }
         self.step += 1;
+        // Crash-safe epoch: every write-back of this step is stamped with
+        // the step number and becomes visible only once the commit record
+        // lands at the end of the step (no-op on journal-free devices).
+        self.device.begin_epoch(self.step);
 
         // Exercise the command protocol end-to-end: what the executor runs
         // is the *decoded* command, exactly as device firmware would.
@@ -664,8 +679,44 @@ impl OptimStoreDevice {
             batch_start = batch_end;
         }
 
+        // Atomic commit: the step's write-backs become authoritative only
+        // when the commit record is durable; a crash anywhere before this
+        // instant rolls the whole step back at mount.
+        step_end = step_end.max(self.device.commit_epoch(step_end)?);
+
         let after = self.snapshot();
         Ok(self.make_report(at, step_end, before, after, skipped, groups_replayed))
+    }
+
+    /// Remounts the device after a sudden power loss and resynchronizes the
+    /// executor with the recovered state: the step counter rewinds to the
+    /// last step whose commit record survived, so the rolled-back step can
+    /// simply be run again. When `grads` is supplied (functional mode),
+    /// that replay happens here — afterwards, state is bit-identical to a
+    /// run that never crashed.
+    pub fn recover(
+        &mut self,
+        grads: Option<&[f32]>,
+        at: SimTime,
+    ) -> Result<RecoveryReport, CoreError> {
+        let mount = self.device.mount(at)?;
+        self.step = mount.committed_epoch;
+        let resumed_step = self.step;
+        let mut end = mount.window.end;
+        let replayed = match grads {
+            Some(g) => {
+                let r = self.run_step(Some(g), end)?;
+                end = r.end;
+                Some(r)
+            }
+            None => None,
+        };
+        Ok(RecoveryReport {
+            mount,
+            resumed_step,
+            replayed,
+            end,
+        })
     }
 
     /// Issues every operand read of update group `g`, returning the pages
@@ -1309,6 +1360,98 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CoreError::Config(_)), "{err}");
+    }
+
+    fn journaled_functional(params: u64) -> OptimStoreDevice {
+        OptimStoreDevice::new_functional(
+            SsdConfig::tiny().with_journal(ssdsim::JournalConfig::every(16)),
+            OptimStoreConfig::die_ndp(),
+            params,
+            Box::new(Adam::default()),
+            spec(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn crash_mid_step_recovers_bit_identically_to_uncrashed_run() {
+        let params = 8_000usize;
+        let weights: Vec<f32> = (0..params).map(|i| (i as f32 * 0.013).sin()).collect();
+        let grad_for = |step: u64| -> Vec<f32> {
+            (0..params)
+                .map(|i| ((i as u64 + 31 * step) as f32 * 0.005).cos() * 0.1)
+                .collect()
+        };
+
+        // Reference: never crashes. Remember each step's window.
+        let mut reference = journaled_functional(params as u64);
+        let t0 = reference.load_weights(&weights, SimTime::ZERO).unwrap();
+        let mut windows = Vec::new();
+        let mut at = t0;
+        for step in 1..=3u64 {
+            let r = reference.run_step(Some(&grad_for(step)), at).unwrap();
+            windows.push((r.start, r.end));
+            at = r.end;
+        }
+        let expect = reference.read_master_weights(at).unwrap();
+
+        // Crashed run: identical until the armed instant in the middle of
+        // step 2 (same config and inputs ⇒ same timing), then recovery.
+        let mut dev = journaled_functional(params as u64);
+        let t0b = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+        assert_eq!(t0, t0b, "identical runs share timing");
+        let (s2, e2) = windows[1];
+        let crash = s2 + (e2 - s2) / 2;
+        dev.ssd_mut()
+            .arm_power_loss(ssdsim::PowerLossConfig::at(crash));
+        let r1 = dev.run_step(Some(&grad_for(1)), t0b).unwrap();
+        let err = dev.run_step(Some(&grad_for(2)), r1.end).unwrap_err();
+        assert!(
+            matches!(err, CoreError::Ssd(SsdError::PowerLoss { .. })),
+            "{err}"
+        );
+
+        // Recover with the interrupted step's gradients: mount rolls back
+        // to step 1, the replay redoes step 2.
+        let rec = dev.recover(Some(&grad_for(2)), crash).unwrap();
+        assert_eq!(rec.resumed_step, 1, "step 2 never committed");
+        assert_eq!(rec.mount.committed_epoch, 1);
+        assert_eq!(dev.step_count(), 2, "replay redid the interrupted step");
+        let replay = rec.replayed.unwrap();
+
+        // Finish the run and compare bit-for-bit.
+        let r3 = dev.run_step(Some(&grad_for(3)), replay.end).unwrap();
+        let got = dev.read_master_weights(r3.end).unwrap();
+        assert_eq!(got.len(), expect.len());
+        for (i, (g, e)) in got.iter().zip(&expect).enumerate() {
+            assert_eq!(g.to_bits(), e.to_bits(), "param {i}: {g} vs {e}");
+        }
+        assert_eq!(dev.ssd().stats().mounts.get(), 1);
+    }
+
+    #[test]
+    fn recover_without_grads_only_resyncs_the_step_counter() {
+        let params = 4_000usize;
+        let weights = vec![0.5f32; params];
+        let grads = vec![0.1f32; params];
+        let mut dev = journaled_functional(params as u64);
+        let t0 = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+        let r1 = dev.run_step(Some(&grads), t0).unwrap();
+        // Crash between steps: step 1 is committed, nothing is in flight.
+        dev.ssd_mut()
+            .arm_power_loss(ssdsim::PowerLossConfig::at(r1.end));
+        let err = dev.run_step(Some(&grads), r1.end).unwrap_err();
+        assert!(matches!(err, CoreError::Ssd(SsdError::PowerLoss { .. })));
+        let rec = dev
+            .recover(None, r1.end + simkit::SimDuration::from_us(1))
+            .unwrap();
+        assert_eq!(rec.resumed_step, 1);
+        assert!(rec.replayed.is_none());
+        assert_eq!(dev.step_count(), 1);
+        // The device is fully serviceable: the next step runs normally.
+        let r2 = dev.run_step(Some(&grads), rec.end).unwrap();
+        assert_eq!(dev.step_count(), 2);
+        assert!(r2.end > rec.end);
     }
 
     #[test]

@@ -64,4 +64,4 @@ pub mod protocol;
 pub use config::{EngineConfig, ExecutionTier, GradStaging, LayoutPolicy, OptimStoreConfig};
 pub use exec::{CoreError, OptimStoreDevice};
 pub use layout::{StateComponent, StateLayout, UpdateGroup};
-pub use report::{StepReport, TrafficBytes};
+pub use report::{RecoveryReport, StepReport, TrafficBytes};

@@ -59,6 +59,23 @@ pub struct StepReport {
     pub groups_replayed: u64,
 }
 
+/// The outcome of a post-crash recovery: what the device mount replayed,
+/// scanned, and discarded, plus the optional step replay that brings state
+/// back in line with a run that never crashed.
+#[derive(Debug, Clone, Copy)]
+pub struct RecoveryReport {
+    /// Device-level mount accounting.
+    pub mount: ssdsim::MountReport,
+    /// Optimizer step the recovered state corresponds to (the last step
+    /// whose commit record was durable at the crash).
+    pub resumed_step: u64,
+    /// The replayed step, when gradients were supplied to
+    /// [`crate::exec::OptimStoreDevice::recover`].
+    pub replayed: Option<StepReport>,
+    /// When recovery (including any replay) finished.
+    pub end: SimTime,
+}
+
 impl StepReport {
     /// Parameters updated per second of simulated time.
     pub fn params_per_sec(&self) -> f64 {

@@ -4,12 +4,14 @@
 use crate::error::NandError;
 use crate::fault::{FaultConfig, FaultInjector, FaultStats};
 use crate::geometry::{BlockAddr, PhysPage};
+use crate::power::PageOob;
 use crate::store::{new_block_table, Backing, BlockState, PageState};
 use crate::timing::NandConfig;
 use crate::wear::{read_retries, RberModel};
 use bytes::Bytes;
 use simkit::stats::Counter;
 use simkit::{SimTime, Timeline, Window};
+use std::collections::{HashMap, HashSet};
 
 /// Operation counters for one die.
 #[derive(Debug, Clone, Default)]
@@ -46,6 +48,16 @@ pub struct Die {
     /// Seeded fault source; `None` (the default) means the fault-free
     /// path performs no draws and stays bit-identical to a faultless die.
     fault: Option<FaultInjector>,
+    /// Armed crash instant: operations starting at or after it fail with
+    /// [`NandError::PowerLoss`] until a mount disarms it.
+    power: Option<SimTime>,
+    /// Flat indices of torn pages (program in flight at the crash): marked
+    /// programmed but every read fails until the block is erased.
+    torn: HashSet<u64>,
+    /// Out-of-band stamps by flat page index. A programmed page without a
+    /// stamp (torn, or written before OOB stamping existed) is untrusted
+    /// by mount recovery.
+    oob: HashMap<u64, PageOob>,
 }
 
 impl Die {
@@ -73,6 +85,9 @@ impl Die {
             stats: DieStats::default(),
             rber: RberModel::for_cell(config.cell),
             fault: None,
+            power: None,
+            torn: HashSet::new(),
+            oob: HashMap::new(),
         }
     }
 
@@ -85,6 +100,47 @@ impl Die {
     /// Injected-fault counters, when fault injection is armed.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Arms (or, with `None`, disarms) a crash instant. Operations whose
+    /// start would fall at or after it fail with [`NandError::PowerLoss`];
+    /// a program *in flight* across the instant tears its page. Mount
+    /// recovery disarms the crash before scanning.
+    pub fn set_power_loss(&mut self, at: Option<SimTime>) {
+        self.power = at;
+    }
+
+    /// The armed crash instant, if any.
+    pub fn power_loss(&self) -> Option<SimTime> {
+        self.power
+    }
+
+    /// True if `p` was torn by a crash mid-program (unreadable until its
+    /// block is erased).
+    pub fn is_torn(&self, p: PhysPage) -> bool {
+        self.torn.contains(&self.config.geometry.page_index(p))
+    }
+
+    /// Number of currently torn pages on this die.
+    pub fn torn_pages(&self) -> u64 {
+        self.torn.len() as u64
+    }
+
+    /// Stamps page `p`'s out-of-band area (the controller calls this
+    /// immediately after a successful program; a crash between the two is
+    /// not observable because both happen within the program window).
+    pub fn put_oob(&mut self, p: PhysPage, oob: PageOob) {
+        self.oob.insert(self.config.geometry.page_index(p), oob);
+    }
+
+    /// The OOB stamp of page `p`, if it has a trustworthy one. Torn pages
+    /// and pages programmed without a stamp return `None`.
+    pub fn oob(&self, p: PhysPage) -> Option<PageOob> {
+        let idx = self.config.geometry.page_index(p);
+        if self.torn.contains(&idx) {
+            return None;
+        }
+        self.oob.get(&idx).copied()
     }
 
     /// Die identifier (assigned by the channel that owns it).
@@ -166,12 +222,31 @@ impl Die {
             .timing
             .t_read(self.config.page_type(p.page))
             .saturating_mul(1 + retries as u64);
+        if let Some(crash) = self.power {
+            let start = at.max(self.planes[p.plane as usize].free_at());
+            if start + t_read > crash {
+                // Either the power was already gone when the sense would
+                // start, or it dropped mid-sense: no data leaves the die
+                // and the attempt leaves no trace.
+                return Err(NandError::PowerLoss { at: crash });
+            }
+        }
+        let block_wear = block.erase_count();
         let win = self.planes[p.plane as usize].acquire(at, t_read);
         self.stats.reads.incr();
         self.stats
             .bytes_read
             .add(self.config.geometry.page_bytes as u64);
-        let rber = self.rber.rber(block.erase_count());
+        if self.torn.contains(&self.config.geometry.page_index(p)) {
+            // A torn page holds a partial charge pattern no ECC can fix;
+            // the sense still consumed the plane. No fault draw happens —
+            // the outcome is certain.
+            return Err(NandError::ReadUncorrectable {
+                page: p,
+                busy_until: win.end,
+            });
+        }
+        let rber = self.rber.rber(block_wear);
         if let Some(fault) = &mut self.fault {
             if fault.roll_read(rber, self.rber.ecc_ceiling) {
                 // The sense (and its retries) consumed the plane, but the
@@ -236,6 +311,25 @@ impl Die {
         } else if self.backing.is_functional() {
             return Err(NandError::NoData(p));
         }
+        if let Some(crash) = self.power {
+            let start = at.max(self.planes[p.plane as usize].free_at());
+            if start >= crash {
+                // Power was already gone: the program never started and
+                // nothing changes.
+                return Err(NandError::PowerLoss { at: crash });
+            }
+            if start + self.config.timing.t_program > crash {
+                // The program was in flight when power dropped: the page is
+                // torn. Its cells hold a partial pattern — the write cursor
+                // advanced (the page is no longer erased) but no data and
+                // no OOB stamp are trustworthy, and every later read fails
+                // until the block is erased.
+                self.planes[p.plane as usize].acquire(at, self.config.timing.t_program);
+                self.blocks[block_idx].mark_programmed(p.page);
+                self.torn.insert(geo.page_index(p));
+                return Err(NandError::PowerLoss { at: crash });
+            }
+        }
         let win = self.planes[p.plane as usize].acquire(at, self.config.timing.t_program);
         let rber = self.rber.rber(self.blocks[block_idx].erase_count());
         if let Some(fault) = &mut self.fault {
@@ -273,6 +367,16 @@ impl Die {
         if self.blocks[block_idx].is_retired() {
             return Err(NandError::WornOut(b));
         }
+        if let Some(crash) = self.power {
+            let start = at.max(self.planes[b.plane as usize].free_at());
+            if start + self.config.timing.t_erase > crash {
+                // Power gone before the erase could finish. NAND erase is
+                // not atomic, but modelling the block as untouched is the
+                // adversarial case for the FTL: stale copies of relocated
+                // data survive and must lose by seqno at mount.
+                return Err(NandError::PowerLoss { at: crash });
+            }
+        }
         let win = self.planes[b.plane as usize].acquire(at, self.config.timing.t_erase);
         let rber = self.rber.rber(self.blocks[block_idx].erase_count());
         if let Some(fault) = &mut self.fault {
@@ -287,7 +391,10 @@ impl Die {
         }
         self.blocks[block_idx].mark_erased();
         for page in 0..geo.pages_per_block {
-            self.backing.remove(geo.page_index(b.page(page)));
+            let idx = geo.page_index(b.page(page));
+            self.backing.remove(idx);
+            self.torn.remove(&idx);
+            self.oob.remove(&idx);
         }
         if self.blocks[block_idx].erase_count() >= self.config.cell.rated_pe_cycles() {
             self.blocks[block_idx].retire();
@@ -671,6 +778,119 @@ mod tests {
         assert!(d.fault_stats().is_none());
         d.program_page(page_of(&d, 0, 0, 0), SimTime::ZERO, Some(&fill(&d, 0)))
             .unwrap();
+    }
+
+    #[test]
+    fn power_loss_refuses_ops_after_the_instant() {
+        let mut d = die();
+        d.set_power_loss(Some(SimTime::from_us(10)));
+        let p = page_of(&d, 0, 0, 0);
+        let err = d
+            .program_page(p, SimTime::from_us(10), Some(&fill(&d, 1)))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NandError::PowerLoss {
+                at: SimTime::from_us(10)
+            }
+        );
+        // Nothing changed: the page is still free.
+        assert_eq!(
+            d.block(BlockAddr { plane: 0, block: 0 })
+                .unwrap()
+                .next_programmable(),
+            Some(0)
+        );
+        // Disarm: the device works again (power restored).
+        d.set_power_loss(None);
+        d.program_page(p, SimTime::from_us(10), Some(&fill(&d, 1)))
+            .unwrap();
+    }
+
+    #[test]
+    fn in_flight_program_tears_the_page() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        let t_prog = d.config().timing.t_program;
+        // Crash lands strictly inside the program window.
+        let crash = SimTime::ZERO + t_prog - simkit::SimDuration::from_ns(1);
+        d.set_power_loss(Some(crash));
+        let err = d
+            .program_page(p, SimTime::ZERO, Some(&fill(&d, 7)))
+            .unwrap_err();
+        assert_eq!(err, NandError::PowerLoss { at: crash });
+        assert!(d.is_torn(p));
+        assert_eq!(d.torn_pages(), 1);
+        // The write cursor advanced — the page is no longer erased — but
+        // there is no data and no OOB stamp.
+        assert_eq!(
+            d.block(BlockAddr { plane: 0, block: 0 })
+                .unwrap()
+                .next_programmable(),
+            Some(1)
+        );
+        assert_eq!(d.oob(p), None);
+        // After power returns, reading the torn page charges the sense but
+        // always fails uncorrectable — without consuming any fault draw.
+        d.set_power_loss(None);
+        let err = d.read_page(p, crash).unwrap_err();
+        assert!(matches!(err, NandError::ReadUncorrectable { page, .. } if page == p));
+        // Erase heals the tear.
+        d.erase_block(BlockAddr { plane: 0, block: 0 }, crash)
+            .unwrap();
+        assert!(!d.is_torn(p));
+        assert_eq!(d.torn_pages(), 0);
+    }
+
+    #[test]
+    fn in_flight_erase_keeps_contents() {
+        let mut d = die();
+        let p = page_of(&d, 0, 2, 0);
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 4)))
+            .unwrap();
+        let quiet = d.plane_free_at(0);
+        let crash = quiet + simkit::SimDuration::from_ns(1);
+        d.set_power_loss(Some(crash));
+        let err = d
+            .erase_block(BlockAddr { plane: 0, block: 2 }, quiet)
+            .unwrap_err();
+        assert_eq!(err, NandError::PowerLoss { at: crash });
+        d.set_power_loss(None);
+        let (_, data) = d.read_page(p, quiet).unwrap();
+        assert_eq!(data.unwrap().as_ref(), &fill(&d, 4)[..]);
+    }
+
+    #[test]
+    fn completed_ops_before_the_crash_succeed() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        // Crash far enough out that the program completes first.
+        d.set_power_loss(Some(SimTime::from_secs(1)));
+        let w = d
+            .program_page(p, SimTime::ZERO, Some(&fill(&d, 2)))
+            .unwrap();
+        assert!(w.end < SimTime::from_secs(1));
+        let (r, data) = d.read_page(p, w.end).unwrap();
+        assert_eq!(data.unwrap().as_ref(), &fill(&d, 2)[..]);
+        assert!(r.end < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn oob_stamps_round_trip_and_clear_on_erase() {
+        let mut d = die();
+        let p = page_of(&d, 1, 0, 0);
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 1)))
+            .unwrap();
+        let stamp = crate::power::PageOob {
+            lpn: 42,
+            epoch: 3,
+            seqno: 99,
+        };
+        d.put_oob(p, stamp);
+        assert_eq!(d.oob(p), Some(stamp));
+        d.erase_block(BlockAddr { plane: 1, block: 0 }, SimTime::from_secs(1))
+            .unwrap();
+        assert_eq!(d.oob(p), None);
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub enum NandError {
         /// When the plane frees after the failed attempt.
         busy_until: SimTime,
     },
+    /// Power failed at `at` before (or while) the operation could run. If
+    /// the victim was an in-flight program, the page is now *torn*; an
+    /// in-flight erase did not happen. The die refuses all further work
+    /// until the crash is disarmed by a mount.
+    PowerLoss {
+        /// The instant the power failed.
+        at: SimTime,
+    },
 }
 
 impl NandError {
@@ -120,6 +128,9 @@ impl fmt::Display for NandError {
             ),
             NandError::ReadUncorrectable { page, busy_until } => {
                 write!(f, "read of {page} ECC-uncorrectable at {busy_until}")
+            }
+            NandError::PowerLoss { at } => {
+                write!(f, "power failed at {at}")
             }
         }
     }

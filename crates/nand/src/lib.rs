@@ -28,6 +28,11 @@
 //!   erase status failures and ECC-uncorrectable reads, wear-coupled
 //!   through the RBER model — the substrate of the recovery subsystem and
 //!   the fault sweep (reconstructed Figure 24).
+//! * **Power loss** ([`power`]): a seeded sudden-power-off instant that
+//!   tears an in-flight page program and refuses all later operations, plus
+//!   the per-page OOB stamps (lpn, epoch, seqno) that mount recovery scans
+//!   to rebuild the mapping — the substrate of the crash-consistency
+//!   subsystem (reconstructed Figure 25).
 //!
 //! ## Example
 //!
@@ -55,6 +60,7 @@ mod geometry;
 mod timing;
 
 pub mod fault;
+pub mod power;
 pub mod store;
 pub mod wear;
 
@@ -63,4 +69,5 @@ pub use die::{Die, DieStats};
 pub use error::NandError;
 pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use geometry::{BlockAddr, NandGeometry, PhysPage};
+pub use power::{PageOob, PowerLossConfig};
 pub use timing::{NandConfig, NandTiming, PageType};

@@ -103,6 +103,30 @@ impl BlockState {
         }
     }
 
+    /// Forces a programmed page's validity (mount recovery rebuilds the
+    /// Valid/Invalid partition from scanned OOB stamps rather than the
+    /// lost RAM state). Returns `false` — and changes nothing — for a
+    /// `Free` page, which has no validity to rewrite.
+    pub fn set_validity(&mut self, page: u32, valid: bool) -> bool {
+        let target = if valid {
+            PageState::Valid
+        } else {
+            PageState::Invalid
+        };
+        match self.states[page as usize] {
+            PageState::Free => false,
+            current => {
+                if current == PageState::Valid && !valid {
+                    self.valid_pages -= 1;
+                } else if current == PageState::Invalid && valid {
+                    self.valid_pages += 1;
+                }
+                self.states[page as usize] = target;
+                true
+            }
+        }
+    }
+
     /// Adds artificial wear (experiments age a device without erasing it
     /// billions of times). Does not retire the block.
     pub(crate) fn add_wear(&mut self, pe: u64) {
@@ -201,6 +225,20 @@ mod tests {
         assert_eq!(b.valid_pages(), 0);
         assert_eq!(b.next_programmable(), Some(0));
         assert_eq!(b.page_state(0), PageState::Free);
+    }
+
+    #[test]
+    fn set_validity_rebuilds_partition() {
+        let mut b = BlockState::new(4);
+        assert!(!b.set_validity(0, true), "free pages have no validity");
+        b.mark_programmed(0);
+        b.mark_programmed(1);
+        assert!(b.set_validity(0, false));
+        assert_eq!(b.valid_pages(), 1);
+        assert!(b.set_validity(0, true));
+        assert_eq!(b.valid_pages(), 2);
+        assert!(b.set_validity(0, true), "idempotent re-set keeps the count");
+        assert_eq!(b.valid_pages(), 2);
     }
 
     #[test]

@@ -56,6 +56,36 @@ impl Default for GcPolicy {
     }
 }
 
+/// Crash-consistency (mapping-journal) configuration.
+///
+/// When armed, the controller stamps every data-page program with OOB
+/// metadata (owner LPN, optimizer-step epoch, device-wide seqno), buffers a
+/// journal entry per program in controller RAM, and flushes the buffer to
+/// dedicated journal blocks every `flush_interval` data programs. After a
+/// sudden power-off, [`crate::Device::mount`] replays the durable journal
+/// pages and OOB-scans only the pages the journal does not cover — the
+/// interval trades journal write amplification against mount scan time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalConfig {
+    /// Flush the RAM journal to flash after this many data-page programs.
+    pub flush_interval: u32,
+}
+
+impl JournalConfig {
+    /// Flush every `n` data-page programs.
+    pub fn every(n: u32) -> Self {
+        JournalConfig { flush_interval: n }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.flush_interval == 0 {
+            return Err("journal flush interval must be positive".into());
+        }
+        Ok(())
+    }
+}
+
 /// Static configuration of a simulated SSD.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SsdConfig {
@@ -79,6 +109,10 @@ pub struct SsdConfig {
     /// `None` (all presets) keeps the device bit- and timing-identical to
     /// a faultless build: no injector exists and no PRNG draw happens.
     pub fault: Option<FaultConfig>,
+    /// Crash-consistency journaling. `None` (all presets) keeps the device
+    /// bit- and timing-identical to a journal-free build: no OOB stamping,
+    /// no journal traffic, and `mount` is unavailable.
+    pub journal: Option<JournalConfig>,
 }
 
 impl SsdConfig {
@@ -95,6 +129,7 @@ impl SsdConfig {
             overprovision: 0.07,
             gc: GcPolicy::default(),
             fault: None,
+            journal: None,
         }
     }
 
@@ -132,12 +167,19 @@ impl SsdConfig {
                 static_wl_threshold: None,
             },
             fault: None,
+            journal: None,
         }
     }
 
     /// The same configuration with seeded fault injection armed.
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// The same configuration with crash-consistency journaling armed.
+    pub fn with_journal(mut self, journal: JournalConfig) -> Self {
+        self.journal = Some(journal);
         self
     }
 
@@ -207,6 +249,9 @@ impl SsdConfig {
         }
         if let Some(fault) = &self.fault {
             fault.validate()?;
+        }
+        if let Some(journal) = &self.journal {
+            journal.validate()?;
         }
         Ok(())
     }
@@ -284,6 +329,12 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = SsdConfig::base().with_fault(FaultConfig::uniform(7, 0.01));
         cfg.validate().unwrap();
+
+        let cfg = SsdConfig::base().with_journal(JournalConfig::every(0));
+        assert!(cfg.validate().is_err());
+        let cfg = SsdConfig::base().with_journal(JournalConfig::every(64));
+        cfg.validate().unwrap();
+        assert_eq!(cfg.journal, Some(JournalConfig { flush_interval: 64 }));
     }
 
     #[test]

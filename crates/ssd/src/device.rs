@@ -6,12 +6,14 @@ use crate::address::{DieId, Lpn, Ppa};
 use crate::channel::Channel;
 use crate::config::SsdConfig;
 use crate::error::SsdError;
-use crate::ftl::Ftl;
+use crate::ftl::{DieAlloc, Ftl};
 use crate::stats::DeviceStats;
 use crate::trace::{OpKind, TraceEvent, TraceLog};
 use bytes::Bytes;
-use nandsim::{Die, FaultStats, NandError, OnfiBus, PhysPage};
+use nandsim::{BlockAddr, Die, FaultStats, NandError, OnfiBus, PageOob, PhysPage, PowerLossConfig};
 use simkit::{BandwidthLink, SimTime, Window};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet};
 
 /// Device-level read-retry bound: after the initial read comes back
 /// ECC-uncorrectable, the controller re-issues the sense (with escalating
@@ -19,6 +21,76 @@ use simkit::{BandwidthLink, SimTime, Window};
 /// controllers walk a read-retry voltage table of a few entries; the exact
 /// depth only bounds how much latency a fault can cost.
 const READ_RETRY_LIMIT: u32 = 4;
+
+/// Flat index of the die holding the mapping-journal blocks. Real
+/// controllers keep a root/journal area at a fixed, well-known location so
+/// mount can find it without any RAM state; die 0 plays that role here.
+const JOURNAL_DIE_FLAT: u32 = 0;
+
+/// Bytes one serialized journal entry occupies inside a journal page
+/// (lpn + ppa + epoch + seqno with headroom). Sets how many mapping
+/// updates fit per flushed page, i.e. the journal's write amplification.
+const JOURNAL_ENTRY_BYTES: usize = 32;
+
+/// One record in the mapping journal.
+///
+/// `Map` mirrors the OOB stamp a data-page program wrote; `Commit` marks an
+/// optimizer-step epoch durable. The journal is an *optimization plus
+/// commit ledger*: lost `Map` entries only enlarge the next mount's OOB
+/// scan (physical OOB remains the ground truth), but a `Commit` entry is
+/// authoritative — an epoch is committed exactly when its record reaches a
+/// fully programmed journal page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JournalEntry {
+    /// A data-page program: `ppa` now holds `oob`.
+    Map {
+        /// Physical location programmed.
+        ppa: Ppa,
+        /// The OOB stamp written with it.
+        oob: PageOob,
+    },
+    /// Every write of epochs ≤ `epoch` before this record is durable.
+    Commit {
+        /// The epoch made durable.
+        epoch: u64,
+    },
+}
+
+/// One durably flushed journal page: its location on the journal die and
+/// the entries it carries. Lives in controller state as a stand-in for the
+/// page's on-flash bytes (journal pages are programmed with real timing but
+/// their payload is not byte-simulated).
+#[derive(Debug, Clone)]
+struct JournalPage {
+    /// Page location on the journal die.
+    location: PhysPage,
+    /// Entries the page carries, in write order.
+    entries: Vec<JournalEntry>,
+}
+
+/// What a [`Device::mount`] found and rebuilt after a power cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MountReport {
+    /// Last epoch with a durable commit record (0 when none was found:
+    /// the initial load is implicitly committed).
+    pub committed_epoch: u64,
+    /// Journal pages read back during replay.
+    pub journal_pages_replayed: u64,
+    /// Pages whose OOB had to be sensed because the journal did not cover
+    /// them — the scan cost the flush interval trades against.
+    pub pages_scanned: u64,
+    /// Logical pages whose mapping was recovered (the winners).
+    pub pages_recovered: u64,
+    /// Physical pages discarded as older versions of a recovered page.
+    pub stale_discarded: u64,
+    /// Physical pages discarded because their epoch was never committed
+    /// (rolled back to the last committed state).
+    pub uncommitted_discarded: u64,
+    /// Torn pages (in-flight programs at the crash instant) discarded.
+    pub torn_discarded: u64,
+    /// Simulated wall-clock window the mount occupied.
+    pub window: Window,
+}
 
 /// A complete simulated SSD.
 ///
@@ -44,6 +116,35 @@ pub struct Device {
     per_die_erases: Vec<u64>,
     /// Per-die erase count at the last static-WL scan.
     wl_marks: Vec<u64>,
+    /// Crash-consistency state. All of it is inert unless
+    /// [`SsdConfig::journal`] is set — a journal-free device takes the
+    /// exact code paths (and timing) it took before the subsystem existed.
+    /// Optimizer-step epoch current writes are stamped with.
+    epoch: u64,
+    /// Last epoch whose commit record reached flash.
+    committed_epoch: u64,
+    /// Device-wide program sequence number (monotonic, RAM-held; rebuilt
+    /// from OOB stamps at mount).
+    seq: u64,
+    /// Deferred invalidations: superseded committed versions that must stay
+    /// valid until the current epoch commits (shadow paging). Lost at a
+    /// crash by design — mount re-derives everything from flash.
+    pending_stale: Vec<Ppa>,
+    /// RAM journal buffer (lost at a crash).
+    journal_ram: Vec<JournalEntry>,
+    /// Durably flushed journal pages, in flush order (models on-flash
+    /// journal content; survives a crash).
+    journal_flushed: Vec<JournalPage>,
+    /// Blocks on the journal die carved out for the journal (the modelled
+    /// root area records these; excluded from data allocation and GC).
+    journal_blocks: Vec<BlockAddr>,
+    /// Journal block currently being appended to.
+    journal_active: Option<BlockAddr>,
+    /// Data-page programs since the last journal flush (auto-flush gate).
+    data_programs_since_flush: u32,
+    /// Set when a power loss surfaced: the device refuses all work until
+    /// the next `mount`.
+    dead: Option<SimTime>,
 }
 
 impl Device {
@@ -105,6 +206,16 @@ impl Device {
             trace: None,
             per_die_erases: vec![0; config.total_dies() as usize],
             wl_marks: vec![0; config.total_dies() as usize],
+            epoch: 0,
+            committed_epoch: 0,
+            seq: 0,
+            pending_stale: Vec::new(),
+            journal_ram: Vec::new(),
+            journal_flushed: Vec::new(),
+            journal_blocks: Vec::new(),
+            journal_active: None,
+            data_programs_since_flush: 0,
+            dead: None,
             config,
         }
     }
@@ -148,6 +259,469 @@ impl Device {
     /// True if page contents are stored.
     pub fn is_functional(&self) -> bool {
         self.functional
+    }
+
+    /// Arms a sudden power-off: every die refuses (or tears) operations
+    /// from the configured instant onwards. The first operation that runs
+    /// into it surfaces [`SsdError::PowerLoss`] and kills the device until
+    /// [`Self::mount`]. Arming again replaces the previous instant (a
+    /// double-crash test re-arms before mounting).
+    pub fn arm_power_loss(&mut self, cfg: PowerLossConfig) {
+        let t = cfg.crash_time();
+        for ch in &mut self.channels {
+            for i in 0..self.config.dies_per_channel {
+                ch.die_mut(i).set_power_loss(Some(t));
+            }
+        }
+    }
+
+    /// The armed crash instant, if any (shared by every die).
+    pub fn armed_power_loss(&self) -> Option<SimTime> {
+        self.channels[0].die(0).power_loss()
+    }
+
+    /// The instant the power failed, once a loss has surfaced. A dead
+    /// device fails every operation until [`Self::mount`].
+    pub fn power_failed_at(&self) -> Option<SimTime> {
+        self.dead
+    }
+
+    /// Optimizer-step epoch current writes are stamped with.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Last epoch whose commit record is durable on flash.
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed_epoch
+    }
+
+    /// Opens write epoch `epoch`: subsequent data programs are stamped with
+    /// it and roll back at mount unless [`Self::commit_epoch`] makes it
+    /// durable. No-op on a journal-free device.
+    pub fn begin_epoch(&mut self, epoch: u64) {
+        if self.config.journal.is_some() {
+            self.epoch = epoch;
+        }
+    }
+
+    /// Commits the current epoch: appends a commit record, flushes the
+    /// journal, and — only once the record is durable — applies the
+    /// deferred invalidations of superseded committed pages. Returns the
+    /// instant the commit became durable. No-op on a journal-free device.
+    pub fn commit_epoch(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
+        if self.config.journal.is_none() {
+            return Ok(at);
+        }
+        self.check_alive()?;
+        self.journal_ram
+            .push(JournalEntry::Commit { epoch: self.epoch });
+        let end = {
+            let r = self.flush_journal(at);
+            self.observe(r)?
+        };
+        self.committed_epoch = self.epoch;
+        let pending = std::mem::take(&mut self.pending_stale);
+        for ppa in pending {
+            invalidate(&mut self.channels, ppa);
+        }
+        Ok(end)
+    }
+
+    /// Fails fast once a power loss has surfaced.
+    fn check_alive(&self) -> Result<(), SsdError> {
+        match self.dead {
+            Some(at) => Err(SsdError::PowerLoss { at }),
+            None => Ok(()),
+        }
+    }
+
+    /// Funnels every fallible path's result through one place so a
+    /// surfacing power loss marks the device dead and drops the RAM state
+    /// that would not survive a real crash.
+    fn observe<T>(&mut self, r: Result<T, SsdError>) -> Result<T, SsdError> {
+        if let Err(SsdError::PowerLoss { at }) = r {
+            self.dead = Some(at);
+            self.journal_ram.clear();
+            self.pending_stale.clear();
+        }
+        r
+    }
+
+    /// Flushes the RAM journal buffer: packs entries into journal pages
+    /// ([`JOURNAL_ENTRY_BYTES`] each) and programs them on the journal die
+    /// with real channel/plane timing. A program that reports bad status
+    /// abandons the active journal block and retries on a fresh one —
+    /// already-flushed pages in the abandoned block stay readable. Returns
+    /// the instant the last page became durable.
+    fn flush_journal(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
+        self.data_programs_since_flush = 0;
+        if self.journal_ram.is_empty() {
+            return Ok(at);
+        }
+        let entries = std::mem::take(&mut self.journal_ram);
+        let per_page = (self.page_bytes() / JOURNAL_ENTRY_BYTES).max(1);
+        let die_id = DieId::from_flat(JOURNAL_DIE_FLAT, self.config.dies_per_channel);
+        let data_buf = self.functional.then(|| vec![0u8; self.page_bytes()]);
+        let mut t = at;
+        for chunk in entries.chunks(per_page) {
+            loop {
+                let page = self.next_journal_page(t)?;
+                let channel = &mut self.channels[die_id.channel as usize];
+                match channel.program_from_controller(die_id.index, page, data_buf.as_deref(), t) {
+                    Ok(win) => {
+                        self.journal_flushed.push(JournalPage {
+                            location: page,
+                            entries: chunk.to_vec(),
+                        });
+                        self.stats.journal_pages.incr();
+                        self.trace_op(OpKind::JournalWrite, None, die_id, win);
+                        t = win.end;
+                        break;
+                    }
+                    Err(NandError::ProgramFailed { busy_until, .. }) => {
+                        self.stats.program_failures.incr();
+                        self.journal_active = None;
+                        t = t.max(busy_until);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
+        }
+        self.stats.journal_flushes.incr();
+        Ok(t)
+    }
+
+    /// Next free page in the active journal block, carving a fresh block
+    /// out of the journal die's free pool when the active one is full (or
+    /// was abandoned after a program failure).
+    fn next_journal_page(&mut self, at: SimTime) -> Result<PhysPage, SsdError> {
+        let die_id = DieId::from_flat(JOURNAL_DIE_FLAT, self.config.dies_per_channel);
+        if let Some(block) = self.journal_active {
+            if let Some(idx) = self.die(die_id).block(block)?.next_programmable() {
+                return Ok(block.page(idx));
+            }
+            self.journal_active = None;
+        }
+        if self.ftl.free_blocks(JOURNAL_DIE_FLAT) == 0 {
+            self.ensure_space(die_id, at)?;
+        }
+        let wear = self.config.gc.wear_leveling;
+        let block = {
+            let channel = &self.channels[die_id.channel as usize];
+            self.ftl
+                .take_free_block(JOURNAL_DIE_FLAT, channel.die(die_id.index), wear)
+        }
+        .ok_or(SsdError::OutOfSpace(die_id))?;
+        self.journal_blocks.push(block);
+        self.journal_active = Some(block);
+        Ok(block.page(0))
+    }
+
+    /// True if `addr` on flat die `die_flat` is a journal block (excluded
+    /// from data allocation, GC victims, and static wear levelling).
+    fn is_journal_block(&self, die_flat: u32, addr: BlockAddr) -> bool {
+        die_flat == JOURNAL_DIE_FLAT && self.journal_blocks.contains(&addr)
+    }
+
+    /// Crash-safe mapping commit for a completed data program: stamps the
+    /// page's OOB, buffers the journal entry, and updates the mapping with
+    /// shadow-paging semantics — the previous *committed* version of a
+    /// logical page stays valid on flash until the current epoch commits,
+    /// so a crash at any instant can roll back to it.
+    fn commit_program_journaled(&mut self, lpn: Lpn, ppa: Ppa, src: Option<Ppa>) {
+        let oob = match src {
+            // Fresh write: new stamp at the current epoch.
+            None => {
+                self.seq += 1;
+                PageOob {
+                    lpn: lpn.0,
+                    epoch: self.epoch,
+                    seqno: self.seq,
+                }
+            }
+            // Relocation (GC / rescue): the copy inherits the source stamp
+            // verbatim, so mount sees it as the same logical version.
+            Some(s) => self.die(s.die).oob(s.page).unwrap_or(PageOob {
+                lpn: lpn.0,
+                epoch: 0,
+                seqno: 0,
+            }),
+        };
+        self.channels[ppa.die.channel as usize]
+            .die_mut(ppa.die.index)
+            .put_oob(ppa.page, oob);
+        self.journal_ram.push(JournalEntry::Map { ppa, oob });
+        match src {
+            None => {
+                if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
+                    // Defer: the superseded page may be the last committed
+                    // version and must survive until commit_epoch.
+                    self.pending_stale.push(stale);
+                }
+            }
+            Some(s) => {
+                if self.ftl.lookup(lpn) == Some(s) {
+                    // Live copy: move the mapping; the source holds the
+                    // same version and can be freed now.
+                    if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
+                        invalidate(&mut self.channels, stale);
+                    }
+                } else {
+                    // Shadow copy: the L2P points at a newer uncommitted
+                    // version. Re-home the reverse mapping and any pending
+                    // invalidation onto the copy; free the source.
+                    self.ftl.record_shadow(lpn, ppa);
+                    invalidate(&mut self.channels, s);
+                    for p in &mut self.pending_stale {
+                        if *p == s {
+                            *p = ppa;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mounts the device after a power cycle: replays the on-flash mapping
+    /// journal, OOB-scans every programmed page the journal does not cover,
+    /// discards torn and uncommitted pages, rebuilds the mapping tables,
+    /// page validity, and allocators from physical state alone, and leaves
+    /// the device in exactly the state of the last committed epoch.
+    ///
+    /// Idempotent by construction: everything is computed into locals and
+    /// installed at the very end, so a second power loss *during* mount
+    /// (double crash) leaves flash untouched and a later mount succeeds.
+    pub fn mount(&mut self, at: SimTime) -> Result<MountReport, SsdError> {
+        assert!(
+            self.config.journal.is_some(),
+            "mount requires a journal-enabled device"
+        );
+        // A still-armed crash instant in the future kills this mount too
+        // (double-crash injection); one at or before `at` already fired
+        // and is consumed by the power cycle.
+        let pending_crash = self.armed_power_loss().filter(|&t| t > at);
+        for ch in &mut self.channels {
+            for i in 0..self.config.dies_per_channel {
+                ch.die_mut(i).set_power_loss(pending_crash);
+            }
+        }
+        self.dead = None;
+        self.journal_ram.clear();
+        self.pending_stale.clear();
+
+        let geo = self.config.nand.geometry;
+        let t_scan = self.config.nand.timing.t_read_lower;
+        let journal_die = DieId::from_flat(JOURNAL_DIE_FLAT, self.config.dies_per_channel);
+
+        // Phase 1 — replay: serial reads of every flushed journal page on
+        // the journal die. `Map` entries pre-cover physical pages (their
+        // OOB need not be sensed); the highest durable `Commit` fixes the
+        // epoch the device rolls back to.
+        let mut journal_map: HashMap<(u32, u64), PageOob> = HashMap::new();
+        let mut committed = 0u64;
+        let mut t = at;
+        let mut died: Option<SimTime> = None;
+        for jp in &self.journal_flushed {
+            t += t_scan;
+            if let Some(tc) = pending_crash {
+                if t > tc {
+                    died = Some(tc);
+                    break;
+                }
+            }
+            // A journal page torn by the crash never became durable; its
+            // entries must not replay (cannot happen with the current flush
+            // path — pages are recorded only after the program completes —
+            // but the replay trusts flash, not controller bookkeeping).
+            if self.die(journal_die).is_torn(jp.location) {
+                continue;
+            }
+            for e in &jp.entries {
+                match *e {
+                    JournalEntry::Map { ppa, oob } => {
+                        let die_flat = ppa.die.flat(self.config.dies_per_channel);
+                        journal_map.insert((die_flat, geo.page_index(ppa.page)), oob);
+                    }
+                    JournalEntry::Commit { epoch } => committed = committed.max(epoch),
+                }
+            }
+        }
+        if let Some(tc) = died {
+            self.dead = Some(tc);
+            return Err(SsdError::PowerLoss { at: tc });
+        }
+        let replayed = self.journal_flushed.len() as u64;
+        let replay_end = t;
+        if replayed > 0 {
+            self.trace_op(
+                OpKind::MountReplay,
+                None,
+                journal_die,
+                Window {
+                    start: at,
+                    end: replay_end,
+                },
+            );
+        }
+
+        // Phase 2 — OOB scan: every programmed page of every non-journal
+        // block (including retired blocks — a crash mid-rescue leaves
+        // committed pages there, and reads still work). Dies scan in
+        // parallel from the end of replay; a page costs a sense only when
+        // the journal does not already cover it exactly.
+        let mut candidates: Vec<(u32, u64, PageOob, Ppa)> = Vec::new();
+        let mut torn = 0u64;
+        let mut no_oob = 0u64;
+        let mut scanned = 0u64;
+        let mut scan_end = replay_end;
+        for die_flat in 0..self.config.total_dies() {
+            let die_id = DieId::from_flat(die_flat, self.config.dies_per_channel);
+            let mut charged = 0u64;
+            let die = self.die(die_id);
+            for (bflat, b) in die.iter_blocks() {
+                let addr = geo.block_at(bflat);
+                if self.is_journal_block(die_flat, addr) {
+                    continue;
+                }
+                for pidx in 0..geo.pages_per_block {
+                    if b.page_state(pidx) == nandsim::store::PageState::Free {
+                        continue;
+                    }
+                    let page = addr.page(pidx);
+                    if die.is_torn(page) {
+                        torn += 1;
+                        charged += 1;
+                        continue;
+                    }
+                    let Some(oob) = die.oob(page) else {
+                        no_oob += 1;
+                        charged += 1;
+                        continue;
+                    };
+                    let idx = geo.page_index(page);
+                    if journal_map.get(&(die_flat, idx)) != Some(&oob) {
+                        charged += 1;
+                    }
+                    candidates.push((die_flat, idx, oob, Ppa { die: die_id, page }));
+                }
+            }
+            scanned += charged;
+            let cursor = replay_end + t_scan.saturating_mul(charged);
+            if let Some(tc) = pending_crash {
+                if cursor > tc {
+                    self.dead = Some(tc);
+                    return Err(SsdError::PowerLoss { at: tc });
+                }
+            }
+            if charged > 0 {
+                self.trace_op(
+                    OpKind::MountScan,
+                    None,
+                    die_id,
+                    Window {
+                        start: replay_end,
+                        end: cursor,
+                    },
+                );
+            }
+            scan_end = scan_end.max(cursor);
+        }
+
+        // Phase 3 — winner selection: per logical page, the newest version
+        // whose epoch was committed. Ties (GC copies share their source's
+        // stamp and bytes) break deterministically by physical location.
+        let mut winners: HashMap<u64, (PageOob, u32, u64, Ppa)> = HashMap::new();
+        let mut stale_discarded = 0u64;
+        let mut uncommitted = 0u64;
+        let mut max_seq = 0u64;
+        for oob in journal_map.values() {
+            max_seq = max_seq.max(oob.seqno);
+        }
+        for (die_flat, idx, oob, ppa) in candidates {
+            max_seq = max_seq.max(oob.seqno);
+            if oob.epoch > committed {
+                uncommitted += 1;
+                continue;
+            }
+            match winners.entry(oob.lpn) {
+                Entry::Vacant(v) => {
+                    v.insert((oob, die_flat, idx, ppa));
+                }
+                Entry::Occupied(mut o) => {
+                    let cur = *o.get();
+                    if (oob.seqno, die_flat, idx) > (cur.0.seqno, cur.1, cur.2) {
+                        o.insert((oob, die_flat, idx, ppa));
+                    }
+                    stale_discarded += 1;
+                }
+            }
+        }
+
+        // Phase 4 — commit point: rebuild mapping, validity, and allocators
+        // into fresh structures, then install everything at once.
+        let mut ftl = Ftl::new(&self.config, &make_ftl_seed_dies(&self.config));
+        let mut sorted: Vec<(PageOob, u32, u64, Ppa)> = winners.values().copied().collect();
+        sorted.sort_by_key(|w| w.0.lpn);
+        let mut winning: HashSet<(u32, u64)> = HashSet::new();
+        for (oob, die_flat, idx, ppa) in &sorted {
+            winning.insert((*die_flat, *idx));
+            ftl.commit_program(Lpn(oob.lpn), *ppa);
+        }
+        for die_flat in 0..self.config.total_dies() {
+            let die_id = DieId::from_flat(die_flat, self.config.dies_per_channel);
+            let mut updates: Vec<(BlockAddr, u32, bool)> = Vec::new();
+            {
+                let die = self.die(die_id);
+                for (bflat, b) in die.iter_blocks() {
+                    let addr = geo.block_at(bflat);
+                    if self.is_journal_block(die_flat, addr) {
+                        continue;
+                    }
+                    for pidx in 0..geo.pages_per_block {
+                        if b.page_state(pidx) == nandsim::store::PageState::Free {
+                            continue;
+                        }
+                        let idx = geo.page_index(addr.page(pidx));
+                        updates.push((addr, pidx, winning.contains(&(die_flat, idx))));
+                    }
+                }
+            }
+            let exclude: Vec<BlockAddr> = if die_flat == JOURNAL_DIE_FLAT {
+                self.journal_blocks.clone()
+            } else {
+                Vec::new()
+            };
+            let die = self.channels[die_id.channel as usize].die_mut(die_id.index);
+            for (addr, pidx, valid) in updates {
+                if let Ok(block) = die.block_mut(addr) {
+                    block.set_validity(pidx, valid);
+                }
+            }
+            let alloc = DieAlloc::from_scan(self.die(die_id), &exclude);
+            ftl.set_allocator(die_flat, alloc);
+        }
+        self.ftl = ftl;
+        self.seq = max_seq;
+        self.epoch = committed;
+        self.committed_epoch = committed;
+        self.data_programs_since_flush = 0;
+        self.stats.mounts.incr();
+        self.stats.mount_scanned_pages.add(scanned);
+        self.stats.torn_pages_discarded.add(torn);
+        Ok(MountReport {
+            committed_epoch: committed,
+            journal_pages_replayed: replayed,
+            pages_scanned: scanned,
+            pages_recovered: sorted.len() as u64,
+            stale_discarded,
+            uncommitted_discarded: uncommitted + no_oob,
+            torn_discarded: torn,
+            window: Window {
+                start: at,
+                end: scan_end,
+            },
+        })
     }
 
     /// The channels (read-only).
@@ -249,6 +823,7 @@ impl Device {
         data: Option<&[u8]>,
         at: SimTime,
     ) -> Result<Window, SsdError> {
+        self.check_alive()?;
         self.check_lpn(lpn)?;
         self.check_data(data)?;
         let bytes = self.page_bytes() as u64;
@@ -262,7 +837,10 @@ impl Device {
             .lookup(lpn)
             .map(|p| p.die)
             .unwrap_or_else(|| self.die_for_lpn(lpn));
-        let win = self.program_internal(lpn, die, data, dram.end, true)?;
+        let win = {
+            let r = self.program_internal(lpn, die, data, dram.end, true);
+            self.observe(r)?
+        };
         self.stats.host_writes.incr();
         self.stats.user_programs.incr();
         Ok(Window {
@@ -277,10 +855,14 @@ impl Device {
         lpn: Lpn,
         at: SimTime,
     ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.check_alive()?;
         self.check_lpn(lpn)?;
         let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
         let bytes = self.page_bytes() as u64;
-        let (chan_win, data) = self.read_channel_with_retry(lpn, ppa, at)?;
+        let (chan_win, data) = {
+            let r = self.read_channel_with_retry(lpn, ppa, at);
+            self.observe(r)?
+        };
         self.trace_op(OpKind::Read, Some(lpn), ppa.die, chan_win);
         // Store-and-forward through controller DRAM: one write, one read.
         let dram_in = self.dram.transfer(chan_win.end, bytes);
@@ -299,6 +881,7 @@ impl Device {
 
     /// Unmaps a logical page (TRIM), invalidating its physical page.
     pub fn trim(&mut self, lpn: Lpn) -> Result<(), SsdError> {
+        self.check_alive()?;
         self.check_lpn(lpn)?;
         if let Some(stale) = self.ftl.trim(lpn) {
             invalidate(&mut self.channels, stale);
@@ -314,9 +897,13 @@ impl Device {
         lpn: Lpn,
         at: SimTime,
     ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.check_alive()?;
         self.check_lpn(lpn)?;
         let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
-        let (win, data) = self.read_array_with_retry(lpn, ppa, at)?;
+        let (win, data) = {
+            let r = self.read_array_with_retry(lpn, ppa, at);
+            self.observe(r)?
+        };
         self.trace_op(OpKind::Read, Some(lpn), ppa.die, win);
         self.stats.ndp_reads.incr();
         Ok((win, data))
@@ -329,9 +916,13 @@ impl Device {
         lpn: Lpn,
         at: SimTime,
     ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.check_alive()?;
         self.check_lpn(lpn)?;
         let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
-        let (win, data) = self.read_channel_with_retry(lpn, ppa, at)?;
+        let (win, data) = {
+            let r = self.read_channel_with_retry(lpn, ppa, at);
+            self.observe(r)?
+        };
         self.trace_op(OpKind::Read, Some(lpn), ppa.die, win);
         self.stats.ndp_reads.incr();
         Ok((win, data))
@@ -443,6 +1034,7 @@ impl Device {
         at: SimTime,
         cross_bus: bool,
     ) -> Result<Window, SsdError> {
+        self.check_alive()?;
         self.check_lpn(lpn)?;
         self.check_data(data)?;
         let target = self
@@ -451,7 +1043,10 @@ impl Device {
             .map(|p| p.die)
             .or(die)
             .unwrap_or_else(|| self.die_for_lpn(lpn));
-        let win = self.program_internal(lpn, target, data, at, cross_bus)?;
+        let win = {
+            let r = self.program_internal(lpn, target, data, at, cross_bus);
+            self.observe(r)?
+        };
         self.stats.ndp_programs.incr();
         Ok(win)
     }
@@ -469,7 +1064,17 @@ impl Device {
     ) -> Result<Window, SsdError> {
         self.ensure_space(die_id, at)?;
         self.maybe_static_wl(die_id, at)?;
-        self.program_no_gc(lpn, die_id, data, at, cross_bus, None)
+        let win = self.program_no_gc(lpn, die_id, data, at, cross_bus, None, None)?;
+        // Auto-flush gate: only front-door data programs count. GC and
+        // rescue copies flow through program_no_gc directly, so a flush can
+        // never re-enter itself via the space it frees.
+        if let Some(j) = self.config.journal {
+            self.data_programs_since_flush += 1;
+            if self.data_programs_since_flush >= j.flush_interval {
+                self.flush_journal(win.end)?;
+            }
+        }
+        Ok(win)
     }
 
     /// Out-of-place program with media-fault recovery but *no* GC trigger.
@@ -483,6 +1088,7 @@ impl Device {
     /// remap costs no extra plane switch. The loop terminates because every
     /// failure permanently removes a block from allocation: a die that
     /// keeps failing runs out of blocks and surfaces `OutOfSpace`.
+    #[allow(clippy::too_many_arguments)]
     fn program_no_gc(
         &mut self,
         lpn: Lpn,
@@ -491,6 +1097,7 @@ impl Device {
         at: SimTime,
         cross_bus: bool,
         prefer_plane: Option<u32>,
+        src: Option<Ppa>,
     ) -> Result<Window, SsdError> {
         let die_flat = die_id.flat(self.config.dies_per_channel);
         let wear = self.config.gc.wear_leveling;
@@ -516,7 +1123,9 @@ impl Device {
             match attempt {
                 Ok(win) => {
                     let ppa = Ppa { die: die_id, page };
-                    if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
+                    if self.config.journal.is_some() {
+                        self.commit_program_journaled(lpn, ppa, src);
+                    } else if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
                         invalidate(&mut self.channels, stale);
                     }
                     self.trace_op(OpKind::Program, Some(lpn), die_id, win);
@@ -594,6 +1203,7 @@ impl Device {
                 read_win.end,
                 false,
                 Some(src.plane),
+                Some(src_ppa),
             )?;
             self.stats.rescue_copies.incr();
             t = win.end;
@@ -643,7 +1253,10 @@ impl Device {
             die.iter_blocks()
                 .filter_map(|(flat, b)| {
                     let addr = geo.block_at(flat);
-                    if actives.contains(&addr) || b.is_retired() {
+                    if actives.contains(&addr)
+                        || b.is_retired()
+                        || self.is_journal_block(die_flat, addr)
+                    {
                         return None;
                     }
                     if b.next_programmable().is_some() {
@@ -693,7 +1306,15 @@ impl Device {
                 .owner_of(src_ppa, self.die(die_id))
                 .expect("valid page must have an owner");
             let (read_win, data) = self.read_array_with_retry(owner, src_ppa, at)?;
-            self.program_no_gc(owner, die_id, data.as_deref(), read_win.end, false, None)?;
+            self.program_no_gc(
+                owner,
+                die_id,
+                data.as_deref(),
+                read_win.end,
+                false,
+                None,
+                Some(src_ppa),
+            )?;
             self.stats.gc_copies.incr();
         }
 
@@ -768,6 +1389,7 @@ impl Device {
                     || b.is_retired()
                     || b.next_programmable().is_some()
                     || b.valid_pages() == 0
+                    || self.is_journal_block(die_flat as u32, addr)
                 {
                     continue;
                 }
@@ -1367,6 +1989,220 @@ mod tests {
         assert_eq!(fails as u64, dev.stats().program_failures.get());
         let g = gantt(&events, simkit::SimDuration::from_us(200), 120);
         assert!(g.contains('x'), "fault glyph missing from gantt:\n{g}");
+    }
+
+    fn journaled(interval: u32) -> Device {
+        Device::new_functional(
+            SsdConfig::tiny().with_journal(crate::config::JournalConfig::every(interval)),
+        )
+    }
+
+    fn journaled_phantom(interval: u32) -> Device {
+        Device::new(SsdConfig::tiny().with_journal(crate::config::JournalConfig::every(interval)))
+    }
+
+    #[test]
+    fn journaled_device_round_trips_and_flushes() {
+        let mut dev = journaled(4);
+        let mut t = SimTime::ZERO;
+        dev.begin_epoch(1);
+        for i in 0..12u64 {
+            let data = vec![i as u8; dev.page_bytes()];
+            let w = dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
+            t = w.end;
+        }
+        t = dev.commit_epoch(t).unwrap();
+        assert!(dev.stats().journal_pages.get() > 0);
+        assert!(dev.stats().journal_flushes.get() >= 3, "12 writes / 4");
+        assert_eq!(dev.committed_epoch(), 1);
+        for i in 0..12u64 {
+            let (_, out) = dev.host_read_page(Lpn(i), t).unwrap();
+            assert_eq!(out.unwrap()[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn power_loss_kills_device_until_mount() {
+        let mut dev = journaled_phantom(8);
+        dev.arm_power_loss(PowerLossConfig::at(SimTime::from_us(40)));
+        let mut t = SimTime::ZERO;
+        dev.begin_epoch(1);
+        let mut crashed = false;
+        for i in 0..200u64 {
+            match dev.host_write_page(Lpn(i % 16), None, t) {
+                Ok(w) => t = w.end,
+                Err(SsdError::PowerLoss { at }) => {
+                    assert_eq!(at, SimTime::from_us(40));
+                    crashed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(crashed, "the armed instant must fire inside the workload");
+        assert!(dev.power_failed_at().is_some());
+        // Everything fails until mount.
+        assert!(matches!(
+            dev.host_read_page(Lpn(0), t),
+            Err(SsdError::PowerLoss { .. })
+        ));
+        assert!(matches!(
+            dev.host_write_page(Lpn(0), None, t),
+            Err(SsdError::PowerLoss { .. })
+        ));
+        let report = dev.mount(SimTime::from_us(50)).unwrap();
+        assert!(dev.power_failed_at().is_none());
+        assert_eq!(report.committed_epoch, 0, "epoch 1 never committed");
+        assert_eq!(dev.stats().mounts.get(), 1);
+        // The device is serviceable again.
+        dev.begin_epoch(1);
+        let w = dev
+            .host_write_page(Lpn(0), None, report.window.end)
+            .unwrap();
+        dev.commit_epoch(w.end).unwrap();
+    }
+
+    #[test]
+    fn mount_rolls_back_uncommitted_epoch() {
+        let mut dev = journaled(64);
+        let a = page(&dev, 0xAA);
+        let b = page(&dev, 0xBB);
+        dev.begin_epoch(1);
+        let w = dev
+            .host_write_page(Lpn(3), Some(&a), SimTime::ZERO)
+            .unwrap();
+        let t = dev.commit_epoch(w.end).unwrap();
+        dev.begin_epoch(2);
+        let w = dev.host_write_page(Lpn(3), Some(&b), t).unwrap();
+        // No commit for epoch 2: mount must roll lpn 3 back to A.
+        let report = dev.mount(w.end).unwrap();
+        assert_eq!(report.committed_epoch, 1);
+        assert!(report.uncommitted_discarded >= 1);
+        assert_eq!(dev.committed_epoch(), 1);
+        let (_, out) = dev.host_read_page(Lpn(3), report.window.end).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &a[..]);
+    }
+
+    #[test]
+    fn mount_preserves_committed_state_bit_exactly() {
+        let mut dev = journaled(16);
+        let mut t = SimTime::ZERO;
+        for epoch in 1..=3u64 {
+            dev.begin_epoch(epoch);
+            for i in 0..24u64 {
+                let data = vec![(epoch * 40 + i) as u8; dev.page_bytes()];
+                let w = dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
+                t = w.end;
+            }
+            t = dev.commit_epoch(t).unwrap();
+        }
+        let mapped_before = dev.ftl().mapped_pages();
+        let report = dev.mount(t).unwrap();
+        assert_eq!(report.committed_epoch, 3);
+        assert_eq!(report.pages_recovered, 24);
+        assert_eq!(dev.ftl().mapped_pages(), mapped_before);
+        for i in 0..24u64 {
+            let (_, out) = dev.host_read_page(Lpn(i), report.window.end).unwrap();
+            assert_eq!(out.unwrap()[0], (3 * 40 + i) as u8, "lpn {i}");
+        }
+    }
+
+    #[test]
+    fn journal_interval_trades_scan_cost_for_journal_writes() {
+        // Crash mid-epoch (no commit): pages whose Map entries were flushed
+        // are journal-covered; the unflushed tail must be OOB-scanned.
+        let run = |interval: u32| {
+            let mut dev = journaled_phantom(interval);
+            let mut t = SimTime::ZERO;
+            dev.begin_epoch(1);
+            for i in 0..30u64 {
+                let w = dev.host_write_page(Lpn(i), None, t).unwrap();
+                t = w.end;
+            }
+            let report = dev.mount(t).unwrap();
+            (report.pages_scanned, dev.stats().journal_pages.get())
+        };
+        let (scan_tight, pages_tight) = run(4);
+        let (scan_loose, pages_loose) = run(64);
+        assert!(
+            scan_tight < scan_loose,
+            "frequent flushes must shrink the scan: {scan_tight} vs {scan_loose}"
+        );
+        assert!(
+            pages_tight > pages_loose,
+            "frequent flushes must cost journal pages: {pages_tight} vs {pages_loose}"
+        );
+    }
+
+    #[test]
+    fn torn_page_is_discarded_on_mount() {
+        // Learn the program window from a clean run, then crash a fresh
+        // device in the middle of that exact window.
+        let probe_window = {
+            let mut dev = journaled(64);
+            dev.begin_epoch(1);
+            dev.internal_program(Lpn(0), None, Some(&page(&dev, 1)), SimTime::ZERO, false)
+                .unwrap()
+        };
+        let mid = probe_window.start + (probe_window.end - probe_window.start) / 2;
+        assert!(mid > probe_window.start && mid < probe_window.end);
+
+        let mut dev = journaled(64);
+        dev.begin_epoch(1);
+        dev.arm_power_loss(PowerLossConfig::at(mid));
+        let err = dev
+            .internal_program(Lpn(0), None, Some(&page(&dev, 1)), SimTime::ZERO, false)
+            .unwrap_err();
+        assert!(matches!(err, SsdError::PowerLoss { .. }));
+        let report = dev.mount(probe_window.end).unwrap();
+        assert_eq!(report.torn_discarded, 1);
+        assert_eq!(report.pages_recovered, 0);
+        assert_eq!(dev.stats().torn_pages_discarded.get(), 1);
+        assert!(matches!(
+            dev.host_read_page(Lpn(0), report.window.end),
+            Err(SsdError::Unmapped(_))
+        ));
+    }
+
+    #[test]
+    fn double_crash_during_mount_then_second_mount_succeeds() {
+        let mut dev = journaled(4);
+        let data = page(&dev, 0x77);
+        let mut t = SimTime::ZERO;
+        dev.begin_epoch(1);
+        for i in 0..8u64 {
+            let w = dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
+            t = w.end;
+        }
+        t = dev.commit_epoch(t).unwrap();
+        // Second crash lands one nanosecond into the mount: the replay of
+        // the first journal page crosses it.
+        let crash = t + simkit::SimDuration::from_ns(1);
+        dev.arm_power_loss(PowerLossConfig::at(crash));
+        let err = dev.mount(t).unwrap_err();
+        assert!(matches!(err, SsdError::PowerLoss { .. }));
+        assert!(dev.power_failed_at().is_some());
+        // Mounting again after the (consumed) crash instant succeeds and
+        // recovers the committed state.
+        let report = dev.mount(crash + simkit::SimDuration::from_us(1)).unwrap();
+        assert_eq!(report.committed_epoch, 1);
+        assert_eq!(report.pages_recovered, 8);
+        for i in 0..8u64 {
+            let (_, out) = dev.host_read_page(Lpn(i), report.window.end).unwrap();
+            assert_eq!(out.unwrap().as_ref(), &data[..]);
+        }
+    }
+
+    #[test]
+    fn journal_free_device_rejects_mount_state_and_keeps_old_paths() {
+        let dev = Device::new(SsdConfig::tiny());
+        assert_eq!(dev.committed_epoch(), 0);
+        let mut dev = Device::new(SsdConfig::tiny());
+        dev.begin_epoch(5);
+        assert_eq!(dev.current_epoch(), 0, "begin_epoch is inert w/o journal");
+        let end = dev.commit_epoch(SimTime::from_us(3)).unwrap();
+        assert_eq!(end, SimTime::from_us(3), "commit_epoch is a no-op");
+        assert_eq!(dev.stats().journal_flushes.get(), 0);
     }
 
     #[test]

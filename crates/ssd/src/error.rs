@@ -2,6 +2,7 @@
 
 use crate::address::{DieId, Lpn};
 use nandsim::NandError;
+use simkit::SimTime;
 use std::error::Error;
 use std::fmt;
 
@@ -41,6 +42,13 @@ pub enum SsdError {
         /// Read attempts performed (initial read plus retries).
         attempts: u32,
     },
+    /// The simulated power failed at `at`: the device refuses all work
+    /// until [`crate::Device::mount`] brings it back. A page program that
+    /// was in flight at the instant is now a torn page.
+    PowerLoss {
+        /// The instant the power failed.
+        at: SimTime,
+    },
 }
 
 impl fmt::Display for SsdError {
@@ -61,6 +69,9 @@ impl fmt::Display for SsdError {
             SsdError::UncorrectableRead { lpn, attempts } => {
                 write!(f, "{lpn} uncorrectable after {attempts} read attempts")
             }
+            SsdError::PowerLoss { at } => {
+                write!(f, "power failed at {at}; mount the device to recover")
+            }
         }
     }
 }
@@ -76,7 +87,12 @@ impl Error for SsdError {
 
 impl From<NandError> for SsdError {
     fn from(e: NandError) -> Self {
-        SsdError::Nand(e)
+        match e {
+            // Power loss is a device-wide condition, not a per-die protocol
+            // error: surface it typed so callers can mount-and-recover.
+            NandError::PowerLoss { at } => SsdError::PowerLoss { at },
+            other => SsdError::Nand(other),
+        }
     }
 }
 

@@ -65,6 +65,67 @@ impl DieAlloc {
         self.free[plane].retain(|&b| b != block.block);
     }
 
+    /// Takes an erased block out of allocation entirely. Journal blocks are
+    /// carved out this way: they hold FTL metadata, are never handed to
+    /// `next_page`, and never become GC victims. The pick mirrors
+    /// `next_page`'s wear policy (lowest erase count, then lowest plane and
+    /// block index, deterministically).
+    pub fn take_block(&mut self, die: &Die, wear_leveling: bool) -> Option<BlockAddr> {
+        let mut best: Option<(u64, u32, u32)> = None;
+        for (plane, pool) in self.free.iter().enumerate() {
+            for &b in pool {
+                let wear = if wear_leveling {
+                    let addr = BlockAddr {
+                        plane: plane as u32,
+                        block: b,
+                    };
+                    die.block(addr).expect("free block exists").erase_count()
+                } else {
+                    0
+                };
+                let key = (wear, plane as u32, b);
+                if best.map(|k| key < k).unwrap_or(true) {
+                    best = Some(key);
+                }
+            }
+        }
+        let (_, plane, block) = best?;
+        self.free[plane as usize].retain(|&b| b != block);
+        Some(BlockAddr { plane, block })
+    }
+
+    /// Rebuilds allocation state from physical block state (mount recovery:
+    /// the RAM allocator died with the power). Erased blocks join the free
+    /// pools; at most one partially written block per plane is re-adopted
+    /// as the active block (lowest block index wins, deterministically —
+    /// any other partial block simply leaves allocation until GC reclaims
+    /// it); retired and `exclude`d blocks stay out.
+    pub fn from_scan(die: &Die, exclude: &[BlockAddr]) -> Self {
+        let geo = die.config().geometry;
+        let mut alloc = DieAlloc {
+            actives: vec![None; geo.planes as usize],
+            free: (0..geo.planes).map(|_| Vec::new()).collect(),
+            next_plane: 0,
+        };
+        for (flat, b) in die.iter_blocks() {
+            let addr = geo.block_at(flat);
+            if b.is_retired() || exclude.contains(&addr) {
+                continue;
+            }
+            match b.next_programmable() {
+                Some(0) => alloc.free[addr.plane as usize].push(addr.block),
+                Some(_) => {
+                    let slot = &mut alloc.actives[addr.plane as usize];
+                    if slot.map(|cur| addr.block < cur.block).unwrap_or(true) {
+                        *slot = Some(addr);
+                    }
+                }
+                None => {} // full: leaves allocation until GC reclaims it
+            }
+        }
+        alloc
+    }
+
     /// Next physical page on a *specific* plane, falling back to any plane
     /// when it has nothing left. Media-fault recovery re-homes a failed
     /// program plane-locally when possible so the remap costs no extra
@@ -273,6 +334,56 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn take_block_removes_from_allocation_for_good() {
+        let mut d = die();
+        let mut a = DieAlloc::new(&d);
+        let total = a.free_blocks();
+        let taken = a.take_block(&d, true).unwrap();
+        assert_eq!(a.free_blocks(), total - 1);
+        // Deterministic: a fresh die's pick is plane 0, block 0.
+        assert_eq!(taken, BlockAddr { plane: 0, block: 0 });
+        let mut seen = std::collections::HashSet::new();
+        while let Some(p) = a.next_page(&d, true) {
+            d.program_page(p, SimTime::ZERO, None).unwrap();
+            seen.insert(p.block_addr());
+        }
+        assert!(
+            !seen.contains(&taken),
+            "taken block must never be allocated"
+        );
+    }
+
+    #[test]
+    fn from_scan_rebuilds_free_active_and_excluded_partition() {
+        let mut d = die();
+        let geo = d.config().geometry;
+        // One partial block on plane 0 (two pages), one full block on
+        // plane 1, one retired block, one excluded block.
+        let partial = BlockAddr { plane: 0, block: 2 };
+        for pg in 0..2 {
+            d.program_page(partial.page(pg), SimTime::ZERO, None)
+                .unwrap();
+        }
+        let full = BlockAddr { plane: 1, block: 1 };
+        for pg in 0..geo.pages_per_block {
+            d.program_page(full.page(pg), SimTime::ZERO, None).unwrap();
+        }
+        let retired = BlockAddr { plane: 1, block: 3 };
+        d.block_mut(retired).unwrap().retire();
+        let excluded = BlockAddr { plane: 0, block: 5 };
+
+        let mut a = DieAlloc::from_scan(&d, &[excluded]);
+        assert_eq!(a.active_block_on(0), Some(partial));
+        assert_eq!(a.active_block_on(1), None, "full blocks are not active");
+        // free = all blocks minus {partial, full, retired, excluded}.
+        assert_eq!(a.free_blocks() as u64, geo.blocks_per_die() - 4);
+        // The adopted active block continues at its write cursor.
+        let p = a.next_page_preferring(0, &d, true).unwrap();
+        assert_eq!(p.block_addr(), partial);
+        assert_eq!(p.page, 2);
     }
 
     #[test]

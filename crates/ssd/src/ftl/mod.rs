@@ -122,6 +122,39 @@ impl Ftl {
         self.alloc[die_flat as usize].push_free(block);
     }
 
+    /// Takes an erased block out of `die`'s pools entirely (journal blocks
+    /// live outside data allocation and are never GC victims).
+    pub fn take_free_block(
+        &mut self,
+        die_flat: u32,
+        die: &Die,
+        wear_leveling: bool,
+    ) -> Option<nandsim::BlockAddr> {
+        self.alloc[die_flat as usize].take_block(die, wear_leveling)
+    }
+
+    /// Records the reverse mapping of a *shadow* copy: a relocated physical
+    /// page whose logical owner currently maps elsewhere. The crash-safe
+    /// commit protocol keeps the last committed version of a page alive
+    /// (valid, reverse-mapped, but not the L2P target) until its epoch
+    /// commits; GC moving such a page must re-home the reverse mapping
+    /// without touching the L2P table.
+    pub fn record_shadow(&mut self, lpn: Lpn, ppa: Ppa) {
+        let die_flat = ppa.die.flat(self.dies_per_channel);
+        self.rmap.set(
+            die_flat,
+            rmap_key(ppa.page.block_addr()),
+            ppa.page.page,
+            lpn,
+        );
+    }
+
+    /// Replaces one die's allocation state (mount recovery rebuilds it from
+    /// a physical scan instead of the lost RAM state).
+    pub fn set_allocator(&mut self, die_flat: u32, alloc: DieAlloc) {
+        self.alloc[die_flat as usize] = alloc;
+    }
+
     /// Unmaps `lpn` (trim), returning the stale mapping.
     pub fn trim(&mut self, lpn: Lpn) -> Option<Ppa> {
         self.l2p.clear(lpn)
@@ -225,6 +258,44 @@ mod tests {
         assert_eq!(ftl.trim(Lpn(1)), Some(ppa));
         assert_eq!(ftl.lookup(Lpn(1)), None);
         assert_eq!(ftl.trim(Lpn(1)), None);
+    }
+
+    #[test]
+    fn shadow_mapping_sets_rmap_without_touching_l2p() {
+        let (_cfg, mut dies, mut ftl) = setup();
+        let p1 = ftl.allocate_page(0, &dies[0], true).unwrap();
+        dies[0].program_page(p1, SimTime::ZERO, None).unwrap();
+        let ppa1 = Ppa {
+            die: DieId::from_flat(0, ftl.dies_per_channel()),
+            page: p1,
+        };
+        ftl.commit_program(Lpn(3), ppa1);
+
+        // Shadow copy of the same lpn at a second location: reverse-mapped
+        // (GC can find the owner) but the L2P target is unchanged.
+        let p2 = ftl.allocate_page(0, &dies[0], true).unwrap();
+        dies[0].program_page(p2, SimTime::ZERO, None).unwrap();
+        let ppa2 = Ppa {
+            die: DieId::from_flat(0, ftl.dies_per_channel()),
+            page: p2,
+        };
+        ftl.record_shadow(Lpn(3), ppa2);
+        assert_eq!(ftl.lookup(Lpn(3)), Some(ppa1), "l2p must not move");
+        assert_eq!(ftl.owner_of(ppa2, &dies[0]), Some(Lpn(3)));
+    }
+
+    #[test]
+    fn take_free_block_and_set_allocator() {
+        let (_cfg, dies, mut ftl) = setup();
+        let before = ftl.free_blocks(1);
+        let b = ftl.take_free_block(1, &dies[1], true).unwrap();
+        assert_eq!(ftl.free_blocks(1), before - 1);
+        ftl.set_allocator(1, DieAlloc::from_scan(&dies[1], &[b]));
+        assert_eq!(
+            ftl.free_blocks(1),
+            before - 1,
+            "rebuilt allocator honours the exclusion"
+        );
     }
 
     #[test]

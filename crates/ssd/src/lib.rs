@@ -59,12 +59,13 @@ pub mod trace;
 
 pub use address::{DieId, Lpn, Ppa};
 pub use channel::Channel;
-pub use config::{GcPolicy, PciGen, SsdConfig};
-pub use device::Device;
+pub use config::{GcPolicy, JournalConfig, PciGen, SsdConfig};
+pub use device::{Device, MountReport};
 pub use error::SsdError;
 pub use nvme::NvmeQueue;
 pub use stats::{erase_histogram, wear_imbalance, DeviceStats, UtilizationReport};
 
 // Fault-injection configuration and counters, re-exported so clients that
-// arm [`SsdConfig::fault`] need not depend on `nandsim` directly.
-pub use nandsim::{FaultConfig, FaultStats};
+// arm [`SsdConfig::fault`] or [`Device::arm_power_loss`] need not depend on
+// `nandsim` directly.
+pub use nandsim::{FaultConfig, FaultStats, PageOob, PowerLossConfig};

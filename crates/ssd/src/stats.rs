@@ -39,6 +39,17 @@ pub struct DeviceStats {
     pub retired_blocks: Counter,
     /// Valid pages relocated off blocks the recovery policy retired.
     pub rescue_copies: Counter,
+    /// Successful mounts (crash-recovery scans) the device performed.
+    pub mounts: Counter,
+    /// Mapping-journal flushes (each durably writes ≥1 journal page).
+    pub journal_flushes: Counter,
+    /// Journal pages programmed — the crash-consistency write overhead.
+    pub journal_pages: Counter,
+    /// Torn pages (in-flight programs at a power loss) discarded at mount.
+    pub torn_pages_discarded: Counter,
+    /// Pages whose OOB had to be sensed at mount because the flushed
+    /// journal did not cover them — what the flush interval buys down.
+    pub mount_scanned_pages: Counter,
 }
 
 impl DeviceStats {
@@ -56,6 +67,124 @@ impl DeviceStats {
     /// Total injected media faults the device observed.
     pub fn media_faults(&self) -> u64 {
         self.program_failures.get() + self.erase_failures.get() + self.uncorrectable_reads.get()
+    }
+
+    /// Journal write amplification: journal pages programmed per logical
+    /// (host or NDP) page written. 0.0 when journaling is off or idle.
+    pub fn journal_overhead(&self) -> f64 {
+        let logical = self.user_programs.get() + self.ndp_programs.get();
+        if logical == 0 {
+            return 0.0;
+        }
+        self.journal_pages.get() as f64 / logical as f64
+    }
+
+    /// Serializes every counter to a stable multi-line `name=value` text
+    /// snapshot. The workspace's serde shim is a no-op marker, so stats
+    /// that must cross a process or file boundary (bench reports, CI
+    /// artifacts) go through this explicit format and
+    /// [`Self::from_snapshot`].
+    pub fn to_snapshot(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.fields() {
+            out.push_str(&format!("{name}={value}\n"));
+        }
+        out
+    }
+
+    /// Parses a snapshot produced by [`Self::to_snapshot`]. Missing fields
+    /// stay zero (snapshots from older builds remain readable); unknown
+    /// fields are an error.
+    pub fn from_snapshot(s: &str) -> Result<DeviceStats, String> {
+        let mut stats = DeviceStats::default();
+        for line in s.lines().filter(|l| !l.trim().is_empty()) {
+            let (name, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("malformed stats line {line:?}"))?;
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|e| format!("bad value in {line:?}: {e}"))?;
+            match name.trim() {
+                "host_reads" => stats.host_reads.add(value),
+                "host_writes" => stats.host_writes.add(value),
+                "user_programs" => stats.user_programs.add(value),
+                "gc_copies" => stats.gc_copies.add(value),
+                "erases" => stats.erases.add(value),
+                "ndp_programs" => stats.ndp_programs.add(value),
+                "ndp_reads" => stats.ndp_reads.add(value),
+                "pcie_in_busy_ns" => stats.pcie_in_busy = SimDuration::from_ns(value),
+                "pcie_out_busy_ns" => stats.pcie_out_busy = SimDuration::from_ns(value),
+                "program_failures" => stats.program_failures.add(value),
+                "erase_failures" => stats.erase_failures.add(value),
+                "read_retries" => stats.read_retries.add(value),
+                "uncorrectable_reads" => stats.uncorrectable_reads.add(value),
+                "retired_blocks" => stats.retired_blocks.add(value),
+                "rescue_copies" => stats.rescue_copies.add(value),
+                "mounts" => stats.mounts.add(value),
+                "journal_flushes" => stats.journal_flushes.add(value),
+                "journal_pages" => stats.journal_pages.add(value),
+                "torn_pages_discarded" => stats.torn_pages_discarded.add(value),
+                "mount_scanned_pages" => stats.mount_scanned_pages.add(value),
+                other => return Err(format!("unknown stats field {other:?}")),
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Adds every counter of `other` into `self` (fleet- or sweep-level
+    /// aggregation of per-device stats).
+    pub fn absorb(&mut self, other: &DeviceStats) {
+        self.host_reads.add(other.host_reads.get());
+        self.host_writes.add(other.host_writes.get());
+        self.user_programs.add(other.user_programs.get());
+        self.gc_copies.add(other.gc_copies.get());
+        self.erases.add(other.erases.get());
+        self.ndp_programs.add(other.ndp_programs.get());
+        self.ndp_reads.add(other.ndp_reads.get());
+        self.pcie_in_busy += other.pcie_in_busy;
+        self.pcie_out_busy += other.pcie_out_busy;
+        self.program_failures.add(other.program_failures.get());
+        self.erase_failures.add(other.erase_failures.get());
+        self.read_retries.add(other.read_retries.get());
+        self.uncorrectable_reads
+            .add(other.uncorrectable_reads.get());
+        self.retired_blocks.add(other.retired_blocks.get());
+        self.rescue_copies.add(other.rescue_copies.get());
+        self.mounts.add(other.mounts.get());
+        self.journal_flushes.add(other.journal_flushes.get());
+        self.journal_pages.add(other.journal_pages.get());
+        self.torn_pages_discarded
+            .add(other.torn_pages_discarded.get());
+        self.mount_scanned_pages
+            .add(other.mount_scanned_pages.get());
+    }
+
+    /// Every field as a `(name, value)` pair, in declaration order.
+    /// Durations are reported in nanoseconds.
+    fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("host_reads", self.host_reads.get()),
+            ("host_writes", self.host_writes.get()),
+            ("user_programs", self.user_programs.get()),
+            ("gc_copies", self.gc_copies.get()),
+            ("erases", self.erases.get()),
+            ("ndp_programs", self.ndp_programs.get()),
+            ("ndp_reads", self.ndp_reads.get()),
+            ("pcie_in_busy_ns", self.pcie_in_busy.as_ns()),
+            ("pcie_out_busy_ns", self.pcie_out_busy.as_ns()),
+            ("program_failures", self.program_failures.get()),
+            ("erase_failures", self.erase_failures.get()),
+            ("read_retries", self.read_retries.get()),
+            ("uncorrectable_reads", self.uncorrectable_reads.get()),
+            ("retired_blocks", self.retired_blocks.get()),
+            ("rescue_copies", self.rescue_copies.get()),
+            ("mounts", self.mounts.get()),
+            ("journal_flushes", self.journal_flushes.get()),
+            ("journal_pages", self.journal_pages.get()),
+            ("torn_pages_discarded", self.torn_pages_discarded.get()),
+            ("mount_scanned_pages", self.mount_scanned_pages.get()),
+        ]
     }
 }
 
@@ -128,6 +257,70 @@ mod tests {
         s.program_failures.add(2);
         s.uncorrectable_reads.add(1);
         assert_eq!(s.media_faults(), 3);
+    }
+
+    #[test]
+    fn snapshot_round_trips_every_counter() {
+        let mut s = DeviceStats::default();
+        // Touch every field with a distinct value so a swapped or dropped
+        // field cannot cancel out.
+        s.host_reads.add(1);
+        s.host_writes.add(2);
+        s.user_programs.add(3);
+        s.gc_copies.add(4);
+        s.erases.add(5);
+        s.ndp_programs.add(6);
+        s.ndp_reads.add(7);
+        s.pcie_in_busy = SimDuration::from_us(8);
+        s.pcie_out_busy = SimDuration::from_us(9);
+        s.program_failures.add(10);
+        s.erase_failures.add(11);
+        s.read_retries.add(12);
+        s.uncorrectable_reads.add(13);
+        s.retired_blocks.add(14);
+        s.rescue_copies.add(15);
+        s.mounts.add(16);
+        s.journal_flushes.add(17);
+        s.journal_pages.add(18);
+        s.torn_pages_discarded.add(19);
+        s.mount_scanned_pages.add(20);
+
+        let back = DeviceStats::from_snapshot(&s.to_snapshot()).unwrap();
+        assert_eq!(back.to_snapshot(), s.to_snapshot());
+        assert_eq!(back.mounts.get(), 16);
+        assert_eq!(back.torn_pages_discarded.get(), 19);
+        assert_eq!(back.pcie_in_busy, SimDuration::from_us(8));
+        assert_eq!(back.media_faults(), s.media_faults());
+        assert!((back.waf() - s.waf()).abs() < 1e-12);
+
+        // Missing fields default to zero; unknown fields are rejected.
+        let sparse = DeviceStats::from_snapshot("mounts=3\n").unwrap();
+        assert_eq!(sparse.mounts.get(), 3);
+        assert_eq!(sparse.host_reads.get(), 0);
+        assert!(DeviceStats::from_snapshot("bogus_field=1\n").is_err());
+        assert!(DeviceStats::from_snapshot("mounts;3\n").is_err());
+        assert!(DeviceStats::from_snapshot("mounts=many\n").is_err());
+    }
+
+    #[test]
+    fn absorb_aggregates_fault_and_mount_counters() {
+        let mut a = DeviceStats::default();
+        a.user_programs.add(100);
+        a.journal_pages.add(10);
+        a.program_failures.add(2);
+        let mut b = DeviceStats::default();
+        b.user_programs.add(50);
+        b.journal_pages.add(5);
+        b.mounts.add(1);
+        b.mount_scanned_pages.add(40);
+        a.absorb(&b);
+        assert_eq!(a.user_programs.get(), 150);
+        assert_eq!(a.journal_pages.get(), 15);
+        assert_eq!(a.program_failures.get(), 2);
+        assert_eq!(a.mounts.get(), 1);
+        assert_eq!(a.mount_scanned_pages.get(), 40);
+        assert!((a.journal_overhead() - 0.1).abs() < 1e-12);
+        assert_eq!(DeviceStats::default().journal_overhead(), 0.0);
     }
 
     #[test]

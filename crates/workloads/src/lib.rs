@@ -28,7 +28,10 @@ mod gradients;
 mod slicing;
 mod task;
 
-pub use faults::{fault_sweep_grid, FaultScenario, SWEEP_AGES, SWEEP_RATES};
+pub use faults::{
+    crash_schedules, fault_sweep_grid, CrashPhase, CrashSchedule, FaultScenario, SWEEP_AGES,
+    SWEEP_RATES,
+};
 pub use gradients::{GradientGen, WeightInit};
 pub use slicing::SlicedRun;
 pub use task::QuadraticTask;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crash_consistency-0471f2a43e292c5b.d: tests/crash_consistency.rs
+
+/root/repo/target/debug/deps/crash_consistency-0471f2a43e292c5b: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crash_consistency-ed8d2e0993efd456.d: tests/crash_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrash_consistency-ed8d2e0993efd456.rmeta: tests/crash_consistency.rs Cargo.toml
+
+tests/crash_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig25_crash_sweep-1b06628178326123.d: crates/bench/src/bin/fig25_crash_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig25_crash_sweep-1b06628178326123.rmeta: crates/bench/src/bin/fig25_crash_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig25_crash_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

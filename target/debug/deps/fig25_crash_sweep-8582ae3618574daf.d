@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig25_crash_sweep-8582ae3618574daf.d: crates/bench/src/bin/fig25_crash_sweep.rs
+
+/root/repo/target/debug/deps/fig25_crash_sweep-8582ae3618574daf: crates/bench/src/bin/fig25_crash_sweep.rs
+
+crates/bench/src/bin/fig25_crash_sweep.rs:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/nandsim-8c91805406287f5c.d: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs Cargo.toml
+/root/repo/target/debug/deps/nandsim-8c91805406287f5c.d: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnandsim-8c91805406287f5c.rmeta: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs Cargo.toml
+/root/repo/target/debug/deps/libnandsim-8c91805406287f5c.rmeta: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs Cargo.toml
 
 crates/nand/src/lib.rs:
 crates/nand/src/bus.rs:
@@ -9,6 +9,7 @@ crates/nand/src/error.rs:
 crates/nand/src/geometry.rs:
 crates/nand/src/timing.rs:
 crates/nand/src/fault.rs:
+crates/nand/src/power.rs:
 crates/nand/src/store.rs:
 crates/nand/src/wear.rs:
 Cargo.toml:

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/nandsim-c48b8797e13e3df0.d: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs
+/root/repo/target/debug/deps/nandsim-c48b8797e13e3df0.d: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs
 
-/root/repo/target/debug/deps/nandsim-c48b8797e13e3df0: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs
+/root/repo/target/debug/deps/nandsim-c48b8797e13e3df0: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs
 
 crates/nand/src/lib.rs:
 crates/nand/src/bus.rs:
@@ -9,5 +9,6 @@ crates/nand/src/error.rs:
 crates/nand/src/geometry.rs:
 crates/nand/src/timing.rs:
 crates/nand/src/fault.rs:
+crates/nand/src/power.rs:
 crates/nand/src/store.rs:
 crates/nand/src/wear.rs:

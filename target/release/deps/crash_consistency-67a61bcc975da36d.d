@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/crash_consistency-67a61bcc975da36d.d: tests/crash_consistency.rs
+
+/root/repo/target/release/deps/crash_consistency-67a61bcc975da36d: tests/crash_consistency.rs
+
+tests/crash_consistency.rs:

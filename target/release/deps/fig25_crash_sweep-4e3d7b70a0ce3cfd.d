@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig25_crash_sweep-4e3d7b70a0ce3cfd.d: crates/bench/src/bin/fig25_crash_sweep.rs
+
+/root/repo/target/release/deps/fig25_crash_sweep-4e3d7b70a0ce3cfd: crates/bench/src/bin/fig25_crash_sweep.rs
+
+crates/bench/src/bin/fig25_crash_sweep.rs:

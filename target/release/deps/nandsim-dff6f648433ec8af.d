@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/nandsim-dff6f648433ec8af.d: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs
+/root/repo/target/release/deps/nandsim-dff6f648433ec8af.d: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs
 
-/root/repo/target/release/deps/libnandsim-dff6f648433ec8af.rlib: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs
+/root/repo/target/release/deps/libnandsim-dff6f648433ec8af.rlib: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs
 
-/root/repo/target/release/deps/libnandsim-dff6f648433ec8af.rmeta: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/store.rs crates/nand/src/wear.rs
+/root/repo/target/release/deps/libnandsim-dff6f648433ec8af.rmeta: crates/nand/src/lib.rs crates/nand/src/bus.rs crates/nand/src/die.rs crates/nand/src/error.rs crates/nand/src/geometry.rs crates/nand/src/timing.rs crates/nand/src/fault.rs crates/nand/src/power.rs crates/nand/src/store.rs crates/nand/src/wear.rs
 
 crates/nand/src/lib.rs:
 crates/nand/src/bus.rs:
@@ -11,5 +11,6 @@ crates/nand/src/error.rs:
 crates/nand/src/geometry.rs:
 crates/nand/src/timing.rs:
 crates/nand/src/fault.rs:
+crates/nand/src/power.rs:
 crates/nand/src/store.rs:
 crates/nand/src/wear.rs:

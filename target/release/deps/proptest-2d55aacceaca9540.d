@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2d55aacceaca9540.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2d55aacceaca9540.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2d55aacceaca9540.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -375,4 +375,173 @@ proptest! {
         };
         prop_assert_eq!(run(seed), run(seed));
     }
+
+    /// Sudden power loss at an **arbitrary seeded instant** of a training
+    /// run, followed by `mount()` + step replay, reaches master weights
+    /// bit-identical to a run that never crashed — for any crash seed and
+    /// any window placement within the run.
+    #[test]
+    fn crash_at_arbitrary_instant_recovers_bit_identically(
+        seed in any::<u64>(),
+        frac in 0.002f64..0.995,
+    ) {
+        let (t0_ref, end_ref, master_ref) = crash_reference();
+        // Seeded draw inside [t0 + frac·span, end): both the placement and
+        // the in-window SplitMix64 draw vary per case.
+        let span = (end_ref - t0_ref).as_ns() as f64;
+        let lo = SimTime::from_ns(t0_ref.as_ns() + 1 + (span * frac) as u64);
+        let cfg = PowerLossConfig { seed, window_start: lo, window_end: end_ref };
+
+        let mut dev = crash_dev();
+        let t0 = dev.load_weights(&crash_weights(), SimTime::ZERO).unwrap();
+        prop_assert_eq!(t0, t0_ref);
+        dev.ssd_mut().arm_power_loss(cfg);
+
+        let mut at = t0;
+        let mut failed = None;
+        for step in 1..=CRASH_STEPS {
+            match dev.run_step(Some(&crash_grad(step)), at) {
+                Ok(r) => at = r.end,
+                Err(CoreError::Ssd(SsdError::PowerLoss { .. })) => { failed = Some(step); break; }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        let k = failed.expect("an instant before the final persist must fire");
+        let tc = dev.ssd().power_failed_at().unwrap();
+        let rec = dev.recover(Some(&crash_grad(k)), tc + SimDuration::from_us(10)).unwrap();
+        prop_assert_eq!(rec.resumed_step, k - 1);
+        let mut at = rec.end;
+        for step in (k + 1)..=CRASH_STEPS {
+            at = dev.run_step(Some(&crash_grad(step)), at).unwrap().end;
+        }
+        let master = dev.read_master_weights(at).unwrap();
+        for (i, (a, b)) in master.iter().zip(&master_ref).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "param {} differs after recovery", i);
+        }
+    }
+
+    /// At the device level: whatever epoch-2 writes were in flight when
+    /// the power failed, `mount()` restores **exactly** the epoch-1
+    /// committed state — every committed page reads back its committed
+    /// bytes, every uncommitted page is unmapped again, and the rebuilt
+    /// mapping stays injective. The recovered device then behaves like a
+    /// fresh one (the same invariant `ftl_mapping_is_injective_and_fresh`
+    /// checks) for further writes.
+    #[test]
+    fn mount_restores_exactly_the_committed_epoch(
+        seed in any::<u64>(),
+        lpns in prop::collection::vec(0u64..40, 6..50),
+    ) {
+        use optimstore::ssdsim::JournalConfig;
+
+        let mut dev = Device::new_functional(
+            SsdConfig::tiny().with_journal(JournalConfig::every(4)),
+        );
+        let page = dev.page_bytes();
+        let byte = |lpn: u64, epoch: u8| (lpn as u8).wrapping_mul(31).wrapping_add(epoch);
+
+        // Epoch 1: committed ground truth (last write per LPN wins).
+        dev.begin_epoch(1);
+        let mut at = SimTime::ZERO;
+        let mut committed: HashMap<u64, u8> = HashMap::new();
+        for &l in &lpns {
+            let data = vec![byte(l, 1); page];
+            at = dev.host_write_page(Lpn(l), Some(&data), at).unwrap().end;
+            committed.insert(l, byte(l, 1));
+        }
+        at = dev.commit_epoch(at).unwrap();
+
+        // Epoch 2: overwrites (and some fresh LPNs) that must roll back.
+        // A seeded power loss is armed inside the epoch-2 write burst;
+        // wherever it lands — or even if it misses entirely — the mount
+        // must discard all of epoch 2.
+        dev.begin_epoch(2);
+        let window_end = at + SimDuration::from_us(200);
+        dev.arm_power_loss(PowerLossConfig { seed, window_start: at, window_end });
+        let mut epoch2: Vec<u64> = lpns.iter().map(|l| l + 40).collect();
+        epoch2.extend(lpns.iter().copied());
+        for l in epoch2 {
+            let data = vec![byte(l, 2); page];
+            match dev.host_write_page(Lpn(l), Some(&data), at) {
+                Ok(w) => at = w.end,
+                Err(SsdError::PowerLoss { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+
+        let report = dev.mount(window_end + SimDuration::from_ms(1)).unwrap();
+        prop_assert_eq!(report.committed_epoch, 1);
+        prop_assert_eq!(report.pages_recovered, committed.len() as u64);
+
+        // Exactly the committed state, nothing else.
+        let t = report.window.end;
+        for (&l, &v) in &committed {
+            let (_, data) = dev.host_read_page(Lpn(l), t).unwrap();
+            prop_assert_eq!(data.unwrap()[0], v, "lpn {} lost its committed bytes", l);
+        }
+        for l in lpns.iter().map(|l| l + 40) {
+            prop_assert!(
+                dev.ftl().lookup(Lpn(l)).is_none(),
+                "uncommitted lpn {} survived the mount", l
+            );
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &l in committed.keys() {
+            let ppa = dev.ftl().lookup(Lpn(l)).expect("committed page must be mapped");
+            prop_assert!(seen.insert(ppa), "two LPNs map to {ppa} after mount");
+        }
+    }
+}
+
+// ——— helpers for the crash-recovery properties ———
+
+use optimstore::optim_math::state::StateLayoutSpec;
+use optimstore::optim_math::{make_optimizer, AdamParams, MomentumParams, OptimizerKind};
+use optimstore::optimstore_core::CoreError;
+use optimstore::simkit::SimDuration;
+use optimstore::ssdsim::{JournalConfig, PowerLossConfig, SsdError};
+use optimstore::workloads::{GradientGen, WeightInit};
+use std::sync::OnceLock;
+
+const CRASH_PARAMS: usize = 4_000;
+const CRASH_STEPS: u64 = 2;
+
+fn crash_dev() -> OptimStoreDevice {
+    OptimStoreDevice::new_functional(
+        SsdConfig::tiny().with_journal(JournalConfig::every(8)),
+        OptimStoreConfig::die_ndp(),
+        CRASH_PARAMS as u64,
+        make_optimizer(
+            OptimizerKind::Adam,
+            AdamParams::default(),
+            MomentumParams::default(),
+        ),
+        StateLayoutSpec::new(OptimizerKind::Adam, GradDtype::F16),
+    )
+    .unwrap()
+}
+
+fn crash_weights() -> Vec<f32> {
+    WeightInit::default().generate(CRASH_PARAMS)
+}
+
+fn crash_grad(step: u64) -> Vec<f32> {
+    GradientGen::new(0xF25F_25F2).generate(step, CRASH_PARAMS)
+}
+
+/// The uncrashed reference, computed once: `(load end, final persist end,
+/// final master weights)`. Every proptest case compares against it.
+fn crash_reference() -> (SimTime, SimTime, Vec<f32>) {
+    static REF: OnceLock<(SimTime, SimTime, Vec<f32>)> = OnceLock::new();
+    REF.get_or_init(|| {
+        let mut dev = crash_dev();
+        let t0 = dev.load_weights(&crash_weights(), SimTime::ZERO).unwrap();
+        let mut at = t0;
+        for step in 1..=CRASH_STEPS {
+            at = dev.run_step(Some(&crash_grad(step)), at).unwrap().end;
+        }
+        let master = dev.read_master_weights(at).unwrap();
+        (t0, at, master)
+    })
+    .clone()
 }
