@@ -172,6 +172,11 @@ impl HostDramBaseline {
             groups_total: 0,
             groups_skipped: 0,
             groups_replayed: 0,
+            scrub_reads: 0,
+            scrub_repairs: 0,
+            scrub_refreshes: 0,
+            parity_writes: 0,
+            parity_reconstructions: 0,
         })
     }
 }

@@ -454,6 +454,11 @@ impl HostNvmeBaseline {
             groups_total: self.layout.num_groups(),
             groups_skipped: 0,
             groups_replayed: 0,
+            scrub_reads: 0,
+            scrub_repairs: 0,
+            scrub_refreshes: 0,
+            parity_writes: 0,
+            parity_reconstructions: 0,
         }
     }
 }

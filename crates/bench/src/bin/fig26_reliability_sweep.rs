@@ -1,0 +1,12 @@
+//! Regenerates the reconstructed experiment `fig26_reliability_sweep`
+//! (see DESIGN.md §4). The sweep is functional; the parameter cap bounds
+//! the model size per cell (clamped to the sweep's working range), so CI
+//! can run a smoke-sized grid.
+
+fn main() {
+    let cap = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(optimstore_bench::runners::DEFAULT_SLICE_CAP);
+    optimstore_bench::experiments::fig26_reliability_sweep(cap);
+}

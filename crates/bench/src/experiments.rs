@@ -1186,6 +1186,200 @@ pub fn fig25_crash_sweep(_cap: u64) {
     );
 }
 
+/// F26 — reliability sweep: seeded page losses plus media aging (read
+/// disturb + retention) across RAIN parity on/off and scrub budgets,
+/// checked bit-exactly against a fault-free reference.
+///
+/// Runs **functionally**: each cell trains the same seeded model while a
+/// deterministic loss schedule corrupts mapped state pages between steps
+/// (one victim stripe is never reused, so parity always faces *single*
+/// losses) and the cell's aging schedule adds read-disturb and retention
+/// RBER on top. With parity off the first corrupted operand read aborts
+/// the run; with parity on every loss is reconstructed from stripe peers
+/// — before the step by the patrol scrub when its budget reaches the
+/// victim first, during the step's own reads otherwise — and the final
+/// master weights match the fault-free reference bit for bit.
+pub fn fig26_reliability_sweep(cap: u64) {
+    use optimstore_core::{StateComponent, StateLayout};
+    use ssdsim::{Device, Lpn, RainConfig, ScrubConfig};
+    use workloads::{aging_schedules, AgingSchedule};
+
+    header(
+        "F26",
+        "reliability sweep: aging schedule x scrub budget x RAIN parity (functional, bit-exact)",
+    );
+    let params = cap.clamp(40_000, 200_000);
+    const STEPS: u64 = 4;
+    const LOSSES_PER_GAP: usize = 3; // one gap before each step -> 12 victims
+    let grad = |step: u64| GradientGen::new(0xF26).generate(step, params as usize);
+    let weights = WeightInit::default().generate(params as usize);
+    let make_dev = |ssd: SsdConfig| {
+        let (optimizer, spec) = optimizer_and_spec(ADAM);
+        OptimStoreDevice::new_functional(ssd, OptimStoreConfig::die_ndp(), params, optimizer, spec)
+            .unwrap()
+    };
+    // The aging coefficients are relative to the part's ECC ceiling.
+    let ceiling = Device::new_functional(SsdConfig::tiny()).channels()[0].dies()[0]
+        .rber_model()
+        .ecc_ceiling;
+    let stripe_w = SsdConfig::tiny()
+        .with_rain(RainConfig::rotating())
+        .stripe_data_width()
+        .unwrap();
+
+    // Fault-free reference: the weights every surviving cell must match.
+    let mut refdev = make_dev(SsdConfig::tiny());
+    let mut at = refdev.load_weights(&weights, SimTime::ZERO).unwrap();
+    for step in 1..=STEPS {
+        at = refdev.run_step(Some(&grad(step)), at).unwrap().end;
+    }
+    let master_ref = refdev.read_master_weights(at).unwrap();
+
+    // The victim list per injection gap: master-weight pages of seeded
+    // groups, at most one per RAIN stripe across the *whole* run, so the
+    // losses stay single per stripe and reconstructable. A stripe spans
+    // adjacent groups, and the executor's batched write-backs dirty a
+    // stripe as soon as *any* member group's batch commits its phase-B
+    // writes — a read in a later batch then finds the stripe mid-rebuild
+    // and unreconstructable (honestly: its parity is stale). Victims are
+    // therefore restricted to stripes whose lowest member group is read
+    // in the victim's own batch, so the loss is always hit while the
+    // stripe still matches its last-committed parity.
+    let batch = SsdConfig::tiny().total_dies() as u64;
+    let pick_victims = |sched: &AgingSchedule, layout: &StateLayout| -> Vec<Vec<Lpn>> {
+        let lpg = layout.lpns_per_group() as u64;
+        let draw = sched.victims(layout.num_groups(), layout.num_groups() as usize);
+        let mut used = std::collections::BTreeSet::new();
+        let mut gaps = vec![Vec::new(); STEPS as usize];
+        let mut it = draw.into_iter();
+        'fill: for gap in gaps.iter_mut() {
+            while gap.len() < LOSSES_PER_GAP {
+                let Some(g) = it.next() else { break 'fill };
+                let lpn = layout.lpn(g, StateComponent::Master, 0);
+                let stripe = lpn.0 / stripe_w;
+                let first_member_group = stripe * stripe_w / lpg;
+                if first_member_group / batch == g / batch && used.insert(stripe) {
+                    gap.push(lpn);
+                }
+            }
+        }
+        gaps
+    };
+
+    let mut t = Table::new(&[
+        "schedule",
+        "parity",
+        "scrub",
+        "outcome",
+        "injected",
+        "reconstr",
+        "scrub rd/rep/refr",
+        "lost",
+        "state traffic",
+    ]);
+    for sched in aging_schedules(26) {
+        let aging = sched.aging_config(ceiling);
+        let cells: [(bool, Option<ScrubConfig>, &str); 4] = [
+            (false, None, "off"),
+            (true, None, "off"),
+            (true, Some(ScrubConfig::per_step(64)), "64/step"),
+            (true, Some(ScrubConfig::per_step(512)), "512/step"),
+        ];
+        for (parity, scrub, scrub_name) in cells {
+            let mut ssd = SsdConfig::tiny();
+            if aging.is_active() {
+                ssd = ssd.with_aging(aging);
+            }
+            if parity {
+                ssd = ssd.with_rain(RainConfig::rotating());
+            }
+            if let Some(s) = scrub {
+                ssd = ssd.with_scrub(s);
+            }
+            let mut dev = make_dev(ssd);
+            let victims = pick_victims(&sched, dev.layout());
+            let hot: Vec<Lpn> = sched
+                .hot_pages(dev.layout().num_groups())
+                .iter()
+                .map(|&g| dev.layout().lpn(g, StateComponent::Weight16, 0))
+                .collect();
+            let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+            let mut injected = 0u64;
+            let mut traffic = 0u64;
+            let mut failed_at: Option<u64> = None;
+            'run: for step in 1..=STEPS {
+                // The idle gap: hot re-reads (read disturb), then the
+                // gap's seeded losses, then the schedule's retention pause.
+                for lpn in &hot {
+                    for _ in 0..sched.hot_reads_per_step {
+                        match dev.ssd_mut().internal_read_array(*lpn, at) {
+                            Ok((w, _)) => at = w.end,
+                            Err(_) => {
+                                failed_at = Some(step);
+                                break 'run;
+                            }
+                        }
+                    }
+                }
+                for lpn in &victims[(step - 1) as usize] {
+                    dev.ssd_mut().inject_page_loss(*lpn).unwrap();
+                    injected += 1;
+                }
+                at += sched.pause_between_steps;
+                match dev.run_step(Some(&grad(step)), at) {
+                    Ok(r) => {
+                        at = r.end;
+                        traffic += r.traffic.array_read + r.traffic.array_program;
+                    }
+                    Err(_) => {
+                        failed_at = Some(step);
+                        break 'run;
+                    }
+                }
+            }
+            let outcome = match failed_at {
+                Some(step) => format!("LOST@step{step}"),
+                None => {
+                    let master = dev.read_master_weights(at).unwrap();
+                    let exact = master
+                        .iter()
+                        .zip(&master_ref)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    if exact {
+                        "bit-exact".into()
+                    } else {
+                        "DRIFT".into()
+                    }
+                }
+            };
+            let st = dev.ssd().stats();
+            t.row(&[
+                sched.name.into(),
+                if parity { "on" } else { "off" }.into(),
+                scrub_name.into(),
+                outcome,
+                injected.to_string(),
+                st.parity_reconstructions.get().to_string(),
+                format!(
+                    "{}/{}/{}",
+                    st.scrub_reads.get(),
+                    st.scrub_repairs.get(),
+                    st.scrub_refreshes.get()
+                ),
+                st.uncorrectable_reads.get().to_string(),
+                fmt_bytes(traffic),
+            ]);
+        }
+    }
+    t.print();
+    println!(
+        "(each cell: fresh device, {STEPS} steps, seeded losses injected between \
+         steps into distinct stripes; 'reconstr' counts reads recovered from \
+         parity, 'lost' counts reads that stayed uncorrectable; 'bit-exact' \
+         compares final master weights to the fault-free reference)"
+    );
+}
+
 /// Runs every experiment (the `figures` bench target and the full harness
 /// binary both call this).
 pub fn run_all(cap: u64) {
@@ -1214,4 +1408,5 @@ pub fn run_all(cap: u64) {
     fig23_scheduler_granularity(cap);
     fig24_fault_sweep(cap);
     fig25_crash_sweep(cap);
+    fig26_reliability_sweep(cap);
 }

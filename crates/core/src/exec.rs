@@ -93,6 +93,8 @@ struct CounterSnapshot {
     dram: u64,
     erases: u64,
     gc_copies: u64,
+    parity_writes: u64,
+    parity_reconstructions: u64,
 }
 
 /// An SSD with in-storage optimizer-update capability.
@@ -384,6 +386,13 @@ impl OptimStoreDevice {
                 None => return Err(CoreError::ModeMismatch("functional device needs gradients")),
             }
         }
+        // Patrol scrub in the idle window before the step begins: every
+        // stripe is clean here (the previous commit rebuilt parity), so any
+        // latent loss the sweep finds is still a *single* loss and
+        // repairable. The step starts when the sweep's reads drain. No-op
+        // unless `SsdConfig::scrub` is armed.
+        let (at, scrub) = self.device.scrub_tick(at)?;
+
         self.step += 1;
         // Crash-safe epoch: every write-back of this step is stamped with
         // the step number and becomes visible only once the commit record
@@ -685,7 +694,7 @@ impl OptimStoreDevice {
         step_end = step_end.max(self.device.commit_epoch(step_end)?);
 
         let after = self.snapshot();
-        Ok(self.make_report(at, step_end, before, after, skipped, groups_replayed))
+        Ok(self.make_report(at, step_end, before, after, skipped, groups_replayed, scrub))
     }
 
     /// Remounts the device after a sudden power loss and resynchronizes the
@@ -856,6 +865,8 @@ impl OptimStoreDevice {
             dram: 0,
             erases: self.device.stats().erases.get(),
             gc_copies: self.device.stats().gc_copies.get(),
+            parity_writes: self.device.stats().parity_writes.get(),
+            parity_reconstructions: self.device.stats().parity_reconstructions.get(),
         };
         for ch in self.device.channels() {
             s.bus += ch.bus().bytes_moved();
@@ -871,6 +882,7 @@ impl OptimStoreDevice {
         s
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn make_report(
         &self,
         start: SimTime,
@@ -879,6 +891,7 @@ impl OptimStoreDevice {
         after: CounterSnapshot,
         groups_skipped: u64,
         groups_replayed: u64,
+        scrub: ssdsim::ScrubReport,
     ) -> StepReport {
         let traffic = TrafficBytes {
             pcie_in: after.pcie_in - before.pcie_in,
@@ -913,6 +926,11 @@ impl OptimStoreDevice {
             groups_total: self.layout.num_groups(),
             groups_skipped,
             groups_replayed,
+            scrub_reads: scrub.pages_read,
+            scrub_repairs: scrub.repairs,
+            scrub_refreshes: scrub.refreshes,
+            parity_writes: after.parity_writes - before.parity_writes,
+            parity_reconstructions: after.parity_reconstructions - before.parity_reconstructions,
         }
     }
 }

@@ -57,6 +57,20 @@ pub struct StepReport {
     /// re-reads a group's operands and recomputes its update; see
     /// [`crate::config::OptimStoreConfig::max_group_replays`]).
     pub groups_replayed: u64,
+    /// Patrol-scrub pages read in the idle window before this step
+    /// (zero unless [`ssdsim::SsdConfig::scrub`] is armed).
+    pub scrub_reads: u64,
+    /// Latent losses the pre-step patrol repaired from parity.
+    pub scrub_repairs: u64,
+    /// Aged pages the pre-step patrol refreshed (die-local copyback)
+    /// before their RBER reached the ECC ceiling.
+    pub scrub_refreshes: u64,
+    /// RAIN parity pages rebuilt during the step's commit.
+    pub parity_writes: u64,
+    /// Uncorrectable operand reads reconstructed from stripe peers during
+    /// the step (these did *not* surface to the executor; contrast
+    /// [`StepReport::groups_replayed`], which counts reads that did).
+    pub parity_reconstructions: u64,
 }
 
 /// The outcome of a post-crash recovery: what the device mount replayed,
@@ -130,6 +144,11 @@ mod tests {
             groups_total: 10,
             groups_skipped: 0,
             groups_replayed: 0,
+            scrub_reads: 0,
+            scrub_repairs: 0,
+            scrub_refreshes: 0,
+            parity_writes: 0,
+            parity_reconstructions: 0,
         }
     }
 

@@ -7,7 +7,7 @@ use crate::geometry::{BlockAddr, PhysPage};
 use crate::power::PageOob;
 use crate::store::{new_block_table, Backing, BlockState, PageState};
 use crate::timing::NandConfig;
-use crate::wear::{read_retries, RberModel};
+use crate::wear::{read_retries, AgingConfig, RberModel};
 use bytes::Bytes;
 use simkit::stats::Counter;
 use simkit::{SimTime, Timeline, Window};
@@ -48,6 +48,9 @@ pub struct Die {
     /// Seeded fault source; `None` (the default) means the fault-free
     /// path performs no draws and stays bit-identical to a faultless die.
     fault: Option<FaultInjector>,
+    /// Media-aging model (read disturb + retention); `None` (the default)
+    /// leaves the pure P/E RBER curve untouched.
+    aging: Option<AgingConfig>,
     /// Armed crash instant: operations starting at or after it fail with
     /// [`NandError::PowerLoss`] until a mount disarms it.
     power: Option<SimTime>,
@@ -85,6 +88,7 @@ impl Die {
             stats: DieStats::default(),
             rber: RberModel::for_cell(config.cell),
             fault: None,
+            aging: None,
             power: None,
             torn: HashSet::new(),
             oob: HashMap::new(),
@@ -100,6 +104,60 @@ impl Die {
     /// Injected-fault counters, when fault injection is armed.
     pub fn fault_stats(&self) -> Option<&FaultStats> {
         self.fault.as_ref().map(FaultInjector::stats)
+    }
+
+    /// Arms the media-aging model (read disturb + retention). Passing an
+    /// inactive config disarms it, keeping the aging-free path identical
+    /// to a die that never saw the call.
+    pub fn set_aging(&mut self, cfg: AgingConfig) {
+        self.aging = cfg.is_active().then_some(cfg);
+    }
+
+    /// The armed aging model, if any.
+    pub fn aging(&self) -> Option<AgingConfig> {
+        self.aging
+    }
+
+    /// The P/E reliability model of this die's cells.
+    pub fn rber_model(&self) -> &RberModel {
+        &self.rber
+    }
+
+    /// Effective RBER of block `b` if sensed at `now`: the P/E base curve
+    /// plus (when aging is armed) read-disturb and retention growth.
+    pub fn effective_rber(&self, b: BlockAddr, now: SimTime) -> Result<f64, NandError> {
+        let block = self.block(b)?;
+        Ok(self.block_rber(block, now))
+    }
+
+    fn block_rber(&self, block: &BlockState, now: SimTime) -> f64 {
+        let base = self.rber.rber(block.erase_count());
+        match &self.aging {
+            None => base,
+            Some(aging) => {
+                let retention_ns = block
+                    .last_program_ns()
+                    .map_or(0, |t| now.as_ns().saturating_sub(t));
+                base + aging.extra_rber(block.reads_since_erase(), retention_ns)
+            }
+        }
+    }
+
+    /// Forces page `p` into the unreadable (torn) state, as if its charge
+    /// were lost to media damage: every later read fails with
+    /// [`NandError::ReadUncorrectable`] — consuming no fault draw — until
+    /// the block is erased. Deterministic hook for exercising the
+    /// reconstruction path. The page must have been programmed.
+    pub fn corrupt_page(&mut self, p: PhysPage) -> Result<(), NandError> {
+        if !self.config.geometry.contains(p) {
+            return Err(NandError::BadAddress(p));
+        }
+        let block = &self.blocks[self.config.geometry.block_index(p.block_addr()) as usize];
+        if block.page_state(p.page) == PageState::Free {
+            return Err(NandError::ReadUnwritten(p));
+        }
+        self.torn.insert(self.config.geometry.page_index(p));
+        Ok(())
     }
 
     /// Arms (or, with `None`, disarms) a crash instant. Operations whose
@@ -214,9 +272,13 @@ impl Die {
         if block.page_state(p.page) == PageState::Free {
             return Err(NandError::ReadUnwritten(p));
         }
-        // Worn cells need read-retries: the base sense plus one full re-read
-        // per retry level.
-        let retries = read_retries(self.rber.rber(block.erase_count()), self.rber.ecc_ceiling);
+        // Worn (and, with aging armed, disturbed/stale) cells need
+        // read-retries: the base sense plus one full re-read per retry
+        // level. The same effective RBER drives both the latency here and
+        // the uncorrectable probability below, so aging makes hot pages
+        // slower *before* it makes them lossy.
+        let rber = self.block_rber(block, at);
+        let retries = read_retries(rber, self.rber.ecc_ceiling);
         let t_read = self
             .config
             .timing
@@ -231,12 +293,18 @@ impl Die {
                 return Err(NandError::PowerLoss { at: crash });
             }
         }
-        let block_wear = block.erase_count();
+        let block_idx = self.config.geometry.block_index(p.block_addr()) as usize;
         let win = self.planes[p.plane as usize].acquire(at, t_read);
         self.stats.reads.incr();
         self.stats
             .bytes_read
             .add(self.config.geometry.page_bytes as u64);
+        if self.aging.is_some() {
+            // The sense disturbs the block's neighbouring cells; the clock
+            // only ticks while the aging model is armed so the disarmed
+            // path stays bit-identical to an aging-free die.
+            self.blocks[block_idx].note_read();
+        }
         if self.torn.contains(&self.config.geometry.page_index(p)) {
             // A torn page holds a partial charge pattern no ECC can fix;
             // the sense still consumed the plane. No fault draw happens —
@@ -246,7 +314,6 @@ impl Die {
                 busy_until: win.end,
             });
         }
-        let rber = self.rber.rber(block_wear);
         if let Some(fault) = &mut self.fault {
             if fault.roll_read(rber, self.rber.ecc_ceiling) {
                 // The sense (and its retries) consumed the plane, but the
@@ -344,6 +411,8 @@ impl Die {
             }
         }
         self.blocks[block_idx].mark_programmed(p.page);
+        // Restart the block's retention clock: fresh charge.
+        self.blocks[block_idx].stamp_program(win.end.as_ns());
         if let Some(d) = data {
             self.backing
                 .put(geo.page_index(p), Bytes::copy_from_slice(d));
@@ -891,6 +960,124 @@ mod tests {
         d.erase_block(BlockAddr { plane: 1, block: 0 }, SimTime::from_secs(1))
             .unwrap();
         assert_eq!(d.oob(p), None);
+    }
+
+    #[test]
+    fn read_disturb_slows_hot_pages() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 1)))
+            .unwrap();
+        d.set_aging(AgingConfig {
+            read_disturb_per_read: 1e-5,
+            retention_per_sec: 0.0,
+        });
+        let b = BlockAddr { plane: 0, block: 0 };
+        let fresh = d.read_page(p, SimTime::from_secs(1)).unwrap().0.duration();
+        // Hammer the page: each sense raises the block's RBER.
+        for i in 0..200u64 {
+            let _ = d.read_page(p, SimTime::from_secs(2 + i));
+        }
+        assert_eq!(d.block(b).unwrap().reads_since_erase(), 201);
+        let hot = d
+            .read_page(p, SimTime::from_secs(500))
+            .unwrap()
+            .0
+            .duration();
+        assert!(
+            hot > fresh,
+            "disturbed read {hot} should exceed fresh {fresh}"
+        );
+        assert!(
+            d.effective_rber(b, SimTime::from_secs(500)).unwrap()
+                > d.rber_model().rber(d.block(b).unwrap().erase_count())
+        );
+        // Erase resets the disturb clock.
+        d.erase_block(b, SimTime::from_secs(600)).unwrap();
+        assert_eq!(d.block(b).unwrap().reads_since_erase(), 0);
+    }
+
+    #[test]
+    fn retention_ages_stale_data_and_reprogram_refreshes() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        d.set_aging(AgingConfig {
+            read_disturb_per_read: 0.0,
+            retention_per_sec: 1e-5,
+        });
+        let w = d
+            .program_page(p, SimTime::ZERO, Some(&fill(&d, 1)))
+            .unwrap();
+        let b = BlockAddr { plane: 0, block: 0 };
+        let soon = d.effective_rber(b, w.end).unwrap();
+        let stale = d
+            .effective_rber(b, w.end + SimDuration::from_secs(3600))
+            .unwrap();
+        assert!(
+            stale > soon * 10.0,
+            "hour-old data must age: {soon} -> {stale}"
+        );
+        // An hour-stale read takes retries; a fresh read does not.
+        let aged_read = d
+            .read_page(p, w.end + SimDuration::from_secs(3600))
+            .unwrap()
+            .0
+            .duration();
+        // Erase + reprogram refreshes the charge: fast again.
+        d.erase_block(b, SimTime::from_secs(7200)).unwrap();
+        let w2 = d
+            .program_page(p, SimTime::from_secs(7300), Some(&fill(&d, 2)))
+            .unwrap();
+        let fresh_read = d.read_page(p, w2.end).unwrap().0.duration();
+        assert!(aged_read > fresh_read, "{aged_read} vs {fresh_read}");
+    }
+
+    #[test]
+    fn inactive_aging_config_disarms_and_changes_nothing() {
+        let mut d = die();
+        d.set_aging(AgingConfig {
+            read_disturb_per_read: 1e-5,
+            retention_per_sec: 1e-5,
+        });
+        d.set_aging(AgingConfig::disabled());
+        assert!(d.aging().is_none());
+        let p = page_of(&d, 0, 0, 0);
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 1)))
+            .unwrap();
+        for i in 0..50u64 {
+            d.read_page(p, SimTime::from_secs(1 + i)).unwrap();
+        }
+        let b = BlockAddr { plane: 0, block: 0 };
+        // Disarmed: the disturb clock never ticks and effective RBER is
+        // exactly the P/E base.
+        assert_eq!(d.block(b).unwrap().reads_since_erase(), 0);
+        assert_eq!(
+            d.effective_rber(b, SimTime::from_secs(1_000_000)).unwrap(),
+            d.rber_model().rber(d.block(b).unwrap().erase_count())
+        );
+    }
+
+    #[test]
+    fn corrupt_page_is_deterministically_unreadable_until_erase() {
+        let mut d = die();
+        let p = page_of(&d, 0, 0, 0);
+        assert!(matches!(
+            d.corrupt_page(p),
+            Err(NandError::ReadUnwritten(_))
+        ));
+        d.program_page(p, SimTime::ZERO, Some(&fill(&d, 7)))
+            .unwrap();
+        d.corrupt_page(p).unwrap();
+        for i in 0..3u64 {
+            let err = d.read_page(p, SimTime::from_secs(1 + i)).unwrap_err();
+            assert!(matches!(err, NandError::ReadUncorrectable { page, .. } if page == p));
+        }
+        d.erase_block(BlockAddr { plane: 0, block: 0 }, SimTime::from_secs(10))
+            .unwrap();
+        d.program_page(p, SimTime::from_secs(11), Some(&fill(&d, 8)))
+            .unwrap();
+        let (_, data) = d.read_page(p, SimTime::from_secs(12)).unwrap();
+        assert_eq!(data.unwrap().as_ref(), &fill(&d, 8)[..]);
     }
 
     #[test]

@@ -23,7 +23,11 @@
 //!   (timing/accounting only) so 175-billion-parameter experiments fit in
 //!   host memory.
 //! * **Wear** ([`wear`]): per-block P/E counts and an analytic raw-bit-error
-//!   model, feeding the endurance experiment (reconstructed Figure 11).
+//!   model, feeding the endurance experiment (reconstructed Figure 11), plus
+//!   an additive aging model ([`AgingConfig`]) where RBER also grows with
+//!   per-block read counts (read disturb) and simulated time since last
+//!   program (retention) — the substrate of the reliability sweep
+//!   (reconstructed Figure 26).
 //! * **Faults** ([`fault`]): seeded, deterministic injection of program/
 //!   erase status failures and ECC-uncorrectable reads, wear-coupled
 //!   through the RBER model — the substrate of the recovery subsystem and
@@ -71,3 +75,4 @@ pub use fault::{FaultConfig, FaultInjector, FaultStats};
 pub use geometry::{BlockAddr, NandGeometry, PhysPage};
 pub use power::{PageOob, PowerLossConfig};
 pub use timing::{NandConfig, NandTiming, PageType};
+pub use wear::AgingConfig;

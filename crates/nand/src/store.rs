@@ -33,6 +33,12 @@ pub struct BlockState {
     erase_count: u64,
     /// True once the block exceeded its rated endurance and was retired.
     retired: bool,
+    /// Reads issued against any page of this block since its last erase
+    /// (read-disturb clock).
+    reads_since_erase: u64,
+    /// Simulated time (ns) of the most recent program into this block
+    /// (retention clock), or `None` if never programmed since erase.
+    last_program_ns: Option<u64>,
 }
 
 impl BlockState {
@@ -44,6 +50,8 @@ impl BlockState {
             valid_pages: 0,
             erase_count: 0,
             retired: false,
+            reads_since_erase: 0,
+            last_program_ns: None,
         }
     }
 
@@ -71,6 +79,26 @@ impl BlockState {
     /// Completed P/E cycles.
     pub fn erase_count(&self) -> u64 {
         self.erase_count
+    }
+
+    /// Reads since the last erase (read-disturb clock).
+    pub fn reads_since_erase(&self) -> u64 {
+        self.reads_since_erase
+    }
+
+    /// Simulated time (ns) of the most recent program, if any since erase.
+    pub fn last_program_ns(&self) -> Option<u64> {
+        self.last_program_ns
+    }
+
+    /// Advances the read-disturb clock by one sense.
+    pub(crate) fn note_read(&mut self) {
+        self.reads_since_erase = self.reads_since_erase.saturating_add(1);
+    }
+
+    /// Restarts the retention clock at `now_ns` (called on every program).
+    pub(crate) fn stamp_program(&mut self, now_ns: u64) {
+        self.last_program_ns = Some(now_ns);
     }
 
     /// True if the block was retired for wear.
@@ -141,6 +169,8 @@ impl BlockState {
         self.write_cursor = 0;
         self.valid_pages = 0;
         self.erase_count += 1;
+        self.reads_since_erase = 0;
+        self.last_program_ns = None;
     }
 }
 
@@ -239,6 +269,24 @@ mod tests {
         assert_eq!(b.valid_pages(), 2);
         assert!(b.set_validity(0, true), "idempotent re-set keeps the count");
         assert_eq!(b.valid_pages(), 2);
+    }
+
+    #[test]
+    fn aging_clocks_reset_on_erase() {
+        let mut b = BlockState::new(4);
+        assert_eq!(b.reads_since_erase(), 0);
+        assert_eq!(b.last_program_ns(), None);
+        b.mark_programmed(0);
+        b.stamp_program(500);
+        b.note_read();
+        b.note_read();
+        assert_eq!(b.reads_since_erase(), 2);
+        assert_eq!(b.last_program_ns(), Some(500));
+        b.stamp_program(900); // later program restarts retention
+        assert_eq!(b.last_program_ns(), Some(900));
+        b.mark_erased();
+        assert_eq!(b.reads_since_erase(), 0);
+        assert_eq!(b.last_program_ns(), None);
     }
 
     #[test]

@@ -58,6 +58,65 @@ impl RberModel {
     }
 }
 
+/// Media-aging model: RBER growth beyond P/E wear.
+///
+/// Two additive mechanisms on top of [`RberModel::rber`]:
+///
+/// * **Read disturb** — every sense of a block slightly stresses its
+///   neighbours; RBER grows linearly with the block's read count since the
+///   last erase.
+/// * **Retention loss** — charge leaks over (simulated) time; RBER grows
+///   linearly with the seconds since the block was last programmed.
+///
+/// Both clocks reset on erase (and the retention clock restarts on every
+/// program), matching real NAND behaviour where an erase/reprogram cycle
+/// refreshes the cells. The model is deliberately additive and separate
+/// from `RberModel` so the P/E calibration (Figure 11) is untouched when
+/// aging is disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingConfig {
+    /// RBER added per read of the block since its last erase.
+    pub read_disturb_per_read: f64,
+    /// RBER added per simulated second since the block's last program.
+    pub retention_per_sec: f64,
+}
+
+impl AgingConfig {
+    /// A configuration that adds no aging at all.
+    pub fn disabled() -> Self {
+        AgingConfig {
+            read_disturb_per_read: 0.0,
+            retention_per_sec: 0.0,
+        }
+    }
+
+    /// True if either mechanism contributes.
+    pub fn is_active(&self) -> bool {
+        self.read_disturb_per_read > 0.0 || self.retention_per_sec > 0.0
+    }
+
+    /// Rejects negative or non-finite coefficients.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("read_disturb_per_read", self.read_disturb_per_read),
+            ("retention_per_sec", self.retention_per_sec),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("aging {name} must be finite and >= 0, got {v}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// RBER added on top of the P/E base for a block read `reads` times
+    /// since erase whose data has sat for `retention_ns` nanoseconds since
+    /// its last program.
+    pub fn extra_rber(&self, reads: u64, retention_ns: u64) -> f64 {
+        self.read_disturb_per_read * reads as f64
+            + self.retention_per_sec * (retention_ns as f64 / 1e9)
+    }
+}
+
 /// Read-retry count as a function of raw bit error rate.
 ///
 /// As cells wear, the default read voltages mis-sense more bits and the
@@ -246,5 +305,62 @@ mod tests {
     fn zero_erase_rate_is_infinite_lifetime() {
         let p = LifetimeProjection::project(1000, 3000, 0.0, 1.0);
         assert!(p.steps_to_exhaustion.is_infinite());
+    }
+
+    #[test]
+    fn disabled_aging_adds_nothing() {
+        let a = AgingConfig::disabled();
+        assert!(!a.is_active());
+        assert_eq!(a.extra_rber(1_000_000, u64::MAX), 0.0);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn aging_grows_with_reads_and_retention() {
+        let a = AgingConfig {
+            read_disturb_per_read: 1e-7,
+            retention_per_sec: 1e-6,
+        };
+        assert!(a.is_active());
+        assert!(a.validate().is_ok());
+        // Linear in reads.
+        assert!((a.extra_rber(10, 0) - 1e-6).abs() < 1e-15);
+        assert!((a.extra_rber(20, 0) - 2e-6).abs() < 1e-15);
+        // Linear in retention seconds (ns input).
+        assert!((a.extra_rber(0, 1_000_000_000) - 1e-6).abs() < 1e-15);
+        assert!((a.extra_rber(0, 3_000_000_000) - 3e-6).abs() < 1e-15);
+        // Additive across mechanisms.
+        let both = a.extra_rber(10, 1_000_000_000);
+        assert!((both - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn aging_validate_rejects_bad_values() {
+        let neg = AgingConfig {
+            read_disturb_per_read: -1e-9,
+            retention_per_sec: 0.0,
+        };
+        assert!(neg.validate().is_err());
+        let nan = AgingConfig {
+            read_disturb_per_read: 0.0,
+            retention_per_sec: f64::NAN,
+        };
+        assert!(nan.validate().is_err());
+    }
+
+    #[test]
+    fn aged_rber_drives_retries_and_ceiling_crossing() {
+        // A fresh TLC block (negligible P/E rber) pushed past the ECC
+        // ceiling purely by read disturb: the retry count saturates.
+        let m = RberModel::for_cell(CellKind::Tlc);
+        let a = AgingConfig {
+            read_disturb_per_read: 1e-6,
+            retention_per_sec: 0.0,
+        };
+        let fresh = m.rber(0);
+        assert_eq!(read_retries(fresh, m.ecc_ceiling), 0);
+        let aged = fresh + a.extra_rber(2000, 0); // 2e-3 > 1e-3 ceiling
+        assert!(aged > m.ecc_ceiling);
+        assert_eq!(read_retries(aged, m.ecc_ceiling), 6);
     }
 }

@@ -1,6 +1,6 @@
 //! Device configuration and the Table-2 presets.
 
-use nandsim::{FaultConfig, NandConfig};
+use nandsim::{AgingConfig, FaultConfig, NandConfig};
 use serde::{Deserialize, Serialize};
 
 /// PCIe host-link generation/width presets (per-direction bandwidth).
@@ -86,6 +86,118 @@ impl JournalConfig {
     }
 }
 
+/// Read-retry policy: how many times the controller re-issues a sense that
+/// came back ECC-uncorrectable, and how the backoff between attempts grows.
+///
+/// The defaults reproduce the historical hard-coded behaviour (4 retries,
+/// linearly growing backoff of one lower-page read time per attempt), so
+/// existing experiments are byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Re-issues after the first failed sense (total attempts = this + 1).
+    pub max_retries: u32,
+    /// Backoff before attempt *n* (1-based) is `n * backoff_units` lower-page
+    /// read times after the failed sense releases the plane.
+    pub backoff_units: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 4,
+            backoff_units: 1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Sanity-checks the policy.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_retries > 64 {
+            return Err(format!(
+                "retry limit {} is unreasonably large (max 64)",
+                self.max_retries
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Die-level RAIN parity configuration.
+///
+/// When armed, logical pages are grouped into fixed stripes of
+/// `stripe_width` data pages plus one XOR parity page. Parity pages live at
+/// logical addresses beyond the host-visible space and flow through the
+/// ordinary FTL / journal / GC machinery, so they are crash-consistent for
+/// free. A read that exhausts its retries is reconstructed from the stripe
+/// peers instead of surfacing `UncorrectableRead`; only a second loss in
+/// the same stripe is fatal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RainConfig {
+    /// Data pages per stripe. `0` picks `total_dies - 1` so each stripe
+    /// (data + parity) spans every die once — the classic rotating layout.
+    pub stripe_width: u32,
+}
+
+impl RainConfig {
+    /// The rotating full-device layout (`stripe_width` auto-derived).
+    pub fn rotating() -> Self {
+        RainConfig { stripe_width: 0 }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        // 0 is the auto sentinel; any explicit width >= 1 is legal (width 1
+        // degenerates to mirroring).
+        Ok(())
+    }
+}
+
+/// Background-scrub (patrol read) configuration.
+///
+/// The device sweeps stripes during the idle window at the start of every
+/// optimizer step, verifying that each mapped page is still readable and
+/// repairing/refreshing it before a single loss can become a fatal double
+/// loss. `pages_per_tick` is the rate budget; `refresh_fraction` sets how
+/// aggressively still-readable-but-aged pages are rewritten (which resets
+/// their read-disturb and retention clocks).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScrubConfig {
+    /// Patrol reads performed per scrub tick (one tick per optimizer step).
+    pub pages_per_tick: u32,
+    /// Refresh (rewrite) a page once its effective RBER exceeds this
+    /// fraction of the ECC ceiling. 1.0 repairs only after actual loss.
+    pub refresh_fraction: f64,
+}
+
+impl ScrubConfig {
+    /// A patrol budget of `n` pages per optimizer step, refreshing pages
+    /// past half the ECC ceiling.
+    pub fn per_step(n: u32) -> Self {
+        ScrubConfig {
+            pages_per_tick: n,
+            refresh_fraction: 0.5,
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pages_per_tick == 0 {
+            return Err("scrub budget must be positive (omit scrub to disable)".into());
+        }
+        if !self.refresh_fraction.is_finite() || !(0.0..=1.0).contains(&self.refresh_fraction) {
+            return Err(format!(
+                "scrub refresh fraction must be in (0, 1], got {}",
+                self.refresh_fraction
+            ));
+        }
+        if self.refresh_fraction == 0.0 {
+            return Err("scrub refresh fraction 0 would rewrite every page every tick".into());
+        }
+        Ok(())
+    }
+}
+
 /// Static configuration of a simulated SSD.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SsdConfig {
@@ -113,6 +225,18 @@ pub struct SsdConfig {
     /// bit- and timing-identical to a journal-free build: no OOB stamping,
     /// no journal traffic, and `mount` is unavailable.
     pub journal: Option<JournalConfig>,
+    /// Read-retry policy (defaults reproduce the historical constants).
+    pub retry: RetryPolicy,
+    /// Media-aging model (read disturb + retention), armed on every die at
+    /// build time. `None` (all presets) keeps the pure P/E RBER curve.
+    pub aging: Option<AgingConfig>,
+    /// Die-level RAIN parity. `None` (all presets) keeps the device bit-
+    /// and timing-identical to a parity-free build: no parity pages exist
+    /// and retry exhaustion surfaces `UncorrectableRead` directly.
+    pub rain: Option<RainConfig>,
+    /// Background patrol scrub. `None` (all presets) performs no patrol
+    /// reads; `scrub_tick` becomes a no-op.
+    pub scrub: Option<ScrubConfig>,
 }
 
 impl SsdConfig {
@@ -130,6 +254,10 @@ impl SsdConfig {
             gc: GcPolicy::default(),
             fault: None,
             journal: None,
+            retry: RetryPolicy::default(),
+            aging: None,
+            rain: None,
+            scrub: None,
         }
     }
 
@@ -168,6 +296,10 @@ impl SsdConfig {
             },
             fault: None,
             journal: None,
+            retry: RetryPolicy::default(),
+            aging: None,
+            rain: None,
+            scrub: None,
         }
     }
 
@@ -180,6 +312,30 @@ impl SsdConfig {
     /// The same configuration with crash-consistency journaling armed.
     pub fn with_journal(mut self, journal: JournalConfig) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// The same configuration with a custom read-retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The same configuration with media aging armed.
+    pub fn with_aging(mut self, aging: AgingConfig) -> Self {
+        self.aging = Some(aging);
+        self
+    }
+
+    /// The same configuration with RAIN parity armed.
+    pub fn with_rain(mut self, rain: RainConfig) -> Self {
+        self.rain = Some(rain);
+        self
+    }
+
+    /// The same configuration with background scrub armed.
+    pub fn with_scrub(mut self, scrub: ScrubConfig) -> Self {
+        self.scrub = Some(scrub);
         self
     }
 
@@ -207,6 +363,34 @@ impl SsdConfig {
     /// die-striped layouts).
     pub fn logical_pages_per_die(&self) -> u64 {
         self.logical_pages() / self.total_dies() as u64
+    }
+
+    /// Data pages per RAIN stripe, `None` when parity is off. Resolves the
+    /// `stripe_width == 0` auto sentinel to `total_dies - 1` (minimum 1).
+    pub fn stripe_data_width(&self) -> Option<u64> {
+        let rain = self.rain?;
+        Some(if rain.stripe_width == 0 {
+            (self.total_dies() as u64 - 1).max(1)
+        } else {
+            rain.stripe_width as u64
+        })
+    }
+
+    /// Number of RAIN stripes covering the host-visible space (0 when
+    /// parity is off). The last stripe may be partial; absent members XOR
+    /// as zero pages.
+    pub fn parity_stripes(&self) -> u64 {
+        match self.stripe_data_width() {
+            None => 0,
+            Some(w) => self.logical_pages().div_ceil(w),
+        }
+    }
+
+    /// Pages the FTL must be able to map: the host-visible space plus (with
+    /// RAIN armed) one internal parity page per stripe. Parity LPNs start
+    /// at `logical_pages()` and are never host-addressable.
+    pub fn addressable_pages(&self) -> u64 {
+        self.logical_pages() + self.parity_stripes()
     }
 
     /// Aggregate ONFI bus bandwidth across channels, bytes/second.
@@ -252,6 +436,25 @@ impl SsdConfig {
         }
         if let Some(journal) = &self.journal {
             journal.validate()?;
+        }
+        self.retry.validate()?;
+        if let Some(aging) = &self.aging {
+            aging.validate()?;
+        }
+        if let Some(rain) = &self.rain {
+            rain.validate()?;
+            let w = self.stripe_data_width().unwrap();
+            if w >= self.logical_pages() {
+                return Err(format!(
+                    "RAIN stripe width {w} is not smaller than the logical space"
+                ));
+            }
+        }
+        if let Some(scrub) = &self.scrub {
+            scrub.validate()?;
+            if self.rain.is_none() {
+                return Err("scrub requires RAIN parity (nothing to repair without it)".into());
+            }
         }
         Ok(())
     }
@@ -335,6 +538,75 @@ mod tests {
         let cfg = SsdConfig::base().with_journal(JournalConfig::every(64));
         cfg.validate().unwrap();
         assert_eq!(cfg.journal, Some(JournalConfig { flush_interval: 64 }));
+
+        let mut cfg = SsdConfig::base();
+        cfg.retry.max_retries = 100;
+        assert!(cfg.validate().is_err());
+
+        let cfg = SsdConfig::base().with_aging(AgingConfig {
+            read_disturb_per_read: -1.0,
+            retention_per_sec: 0.0,
+        });
+        assert!(cfg.validate().is_err());
+
+        let cfg = SsdConfig::base().with_scrub(ScrubConfig::per_step(8));
+        assert!(
+            cfg.validate().is_err(),
+            "scrub without rain must be rejected"
+        );
+        let cfg = SsdConfig::base()
+            .with_rain(RainConfig::rotating())
+            .with_scrub(ScrubConfig {
+                pages_per_tick: 0,
+                refresh_fraction: 0.5,
+            });
+        assert!(cfg.validate().is_err());
+        let cfg = SsdConfig::base()
+            .with_rain(RainConfig::rotating())
+            .with_scrub(ScrubConfig {
+                pages_per_tick: 8,
+                refresh_fraction: 2.0,
+            });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn stripe_geometry_accounting() {
+        let plain = SsdConfig::tiny();
+        assert_eq!(plain.stripe_data_width(), None);
+        assert_eq!(plain.parity_stripes(), 0);
+        assert_eq!(plain.addressable_pages(), plain.logical_pages());
+
+        let cfg = SsdConfig::tiny().with_rain(RainConfig::rotating());
+        cfg.validate().unwrap();
+        // 2×2 dies → auto width 3 (dies − 1).
+        assert_eq!(cfg.stripe_data_width(), Some(3));
+        let l = cfg.logical_pages();
+        let stripes = cfg.parity_stripes();
+        assert_eq!(stripes, l.div_ceil(3));
+        assert_eq!(cfg.addressable_pages(), l + stripes);
+        // Host-visible capacity is unchanged by parity.
+        assert_eq!(cfg.logical_pages(), plain.logical_pages());
+
+        // Explicit width wins over the auto sentinel.
+        let wide = SsdConfig::tiny().with_rain(RainConfig { stripe_width: 7 });
+        wide.validate().unwrap();
+        assert_eq!(wide.stripe_data_width(), Some(7));
+
+        // Full scrub-enabled config validates.
+        SsdConfig::tiny()
+            .with_rain(RainConfig::rotating())
+            .with_scrub(ScrubConfig::per_step(16))
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn retry_policy_defaults_match_historical_constants() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.max_retries, 4);
+        assert_eq!(r.backoff_units, 1);
+        r.validate().unwrap();
     }
 
     #[test]

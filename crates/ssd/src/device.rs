@@ -13,14 +13,7 @@ use bytes::Bytes;
 use nandsim::{BlockAddr, Die, FaultStats, NandError, OnfiBus, PageOob, PhysPage, PowerLossConfig};
 use simkit::{BandwidthLink, SimTime, Window};
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet};
-
-/// Device-level read-retry bound: after the initial read comes back
-/// ECC-uncorrectable, the controller re-issues the sense (with escalating
-/// backoff) this many times before declaring the page unreadable. Real
-/// controllers walk a read-retry voltage table of a few entries; the exact
-/// depth only bounds how much latency a fault can cost.
-const READ_RETRY_LIMIT: u32 = 4;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Flat index of the die holding the mapping-journal blocks. Real
 /// controllers keep a root/journal area at a fixed, well-known location so
@@ -145,6 +138,58 @@ pub struct Device {
     /// Set when a power loss surfaced: the device refuses all work until
     /// the next `mount`.
     dead: Option<SimTime>,
+    /// RAIN stripes whose parity page is out of date with respect to data
+    /// programmed this epoch. Rebuilt (and drained) by [`Device::commit_epoch`];
+    /// inert (always empty) unless [`SsdConfig::rain`] is set. `BTreeSet` so
+    /// the rebuild order is deterministic.
+    dirty_stripes: BTreeSet<u64>,
+    /// Patrol-scrub sweep position: next addressable LPN the scrubber will
+    /// examine. Reset at mount (RAM state).
+    scrub_cursor: u64,
+}
+
+/// How a physical program relates to logical state — decides the OOB stamp,
+/// journal record, trace glyph, and stale-page handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProgramKind {
+    /// New logical content from the host/core: fresh epoch + seqno stamp,
+    /// shadow-paged invalidation of the committed predecessor.
+    Fresh,
+    /// A RAIN parity page rebuild: commit semantics of `Fresh` (parity must
+    /// roll back with the data it protects) but traced/counted as parity.
+    Parity,
+    /// Relocation of unchanged content (GC, rescue, refresh): inherits the
+    /// source page's OOB stamp verbatim so mount still resolves versions.
+    Relocate(Ppa),
+    /// Re-home of a page reconstructed from stripe peers: content equals the
+    /// lost source's, but stamped with a *fresh* seqno (and the source's
+    /// epoch when readable) so the unreadable original deterministically
+    /// loses mount's winner selection.
+    Reconstruct(Ppa),
+}
+
+/// Which physical path a retried read takes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadRoute {
+    /// Die-internal array sense only (data stays on-die).
+    Array,
+    /// Array sense plus ONFI transfer to the controller.
+    Channel,
+}
+
+/// What one [`Device::scrub_tick`] patrol pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Mapped pages patrol-read this tick.
+    pub pages_read: u64,
+    /// Pages found uncorrectable and repaired from stripe parity.
+    pub repairs: u64,
+    /// Pages proactively rewritten because aging pushed their RBER near the
+    /// ECC ceiling.
+    pub refreshes: u64,
+    /// Pages whose loss could not be repaired (double losses); the device
+    /// keeps sweeping but the data is gone.
+    pub unrecovered: u64,
 }
 
 impl Device {
@@ -173,6 +218,9 @@ impl Device {
                         };
                         if let Some(fault) = config.fault {
                             die.set_fault_config(fault);
+                        }
+                        if let Some(aging) = config.aging {
+                            die.set_aging(aging);
                         }
                         die
                     })
@@ -216,6 +264,8 @@ impl Device {
             journal_active: None,
             data_programs_since_flush: 0,
             dead: None,
+            dirty_stripes: BTreeSet::new(),
+            scrub_cursor: 0,
             config,
         }
     }
@@ -305,19 +355,32 @@ impl Device {
         }
     }
 
-    /// Commits the current epoch: appends a commit record, flushes the
+    /// Commits the current epoch. With RAIN armed, first rebuilds the
+    /// parity page of every stripe dirtied this epoch — *before* the commit
+    /// record, so the journal's `Map` entries for parity land under the
+    /// committing epoch and a crash rolls parity and data back together.
+    /// Then (journal-enabled devices) appends a commit record, flushes the
     /// journal, and — only once the record is durable — applies the
     /// deferred invalidations of superseded committed pages. Returns the
-    /// instant the commit became durable. No-op on a journal-free device.
+    /// instant the commit became durable. No-op on a journal-free,
+    /// RAIN-free device.
     pub fn commit_epoch(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
+        let mut t = at;
+        if self.config.rain.is_some() && !self.dirty_stripes.is_empty() {
+            self.check_alive()?;
+            t = {
+                let r = self.rebuild_dirty_stripes(t);
+                self.observe(r)?
+            };
+        }
         if self.config.journal.is_none() {
-            return Ok(at);
+            return Ok(t);
         }
         self.check_alive()?;
         self.journal_ram
             .push(JournalEntry::Commit { epoch: self.epoch });
         let end = {
-            let r = self.flush_journal(at);
+            let r = self.flush_journal(t);
             self.observe(r)?
         };
         self.committed_epoch = self.epoch;
@@ -344,6 +407,9 @@ impl Device {
             self.dead = Some(at);
             self.journal_ram.clear();
             self.pending_stale.clear();
+            // RAM-held too: after the power cycle mount rolls every stripe
+            // back to its committed (parity-consistent) state.
+            self.dirty_stripes.clear();
         }
         r
     }
@@ -429,10 +495,11 @@ impl Device {
     /// shadow-paging semantics — the previous *committed* version of a
     /// logical page stays valid on flash until the current epoch commits,
     /// so a crash at any instant can roll back to it.
-    fn commit_program_journaled(&mut self, lpn: Lpn, ppa: Ppa, src: Option<Ppa>) {
-        let oob = match src {
-            // Fresh write: new stamp at the current epoch.
-            None => {
+    fn commit_program_journaled(&mut self, lpn: Lpn, ppa: Ppa, kind: ProgramKind) {
+        let oob = match kind {
+            // Fresh write (and a parity rebuild, which must roll back with
+            // the data it protects): new stamp at the current epoch.
+            ProgramKind::Fresh | ProgramKind::Parity => {
                 self.seq += 1;
                 PageOob {
                     lpn: lpn.0,
@@ -442,25 +509,43 @@ impl Device {
             }
             // Relocation (GC / rescue): the copy inherits the source stamp
             // verbatim, so mount sees it as the same logical version.
-            Some(s) => self.die(s.die).oob(s.page).unwrap_or(PageOob {
+            ProgramKind::Relocate(s) => self.die(s.die).oob(s.page).unwrap_or(PageOob {
                 lpn: lpn.0,
                 epoch: 0,
                 seqno: 0,
             }),
+            // Parity reconstruction re-home: same logical *version* as the
+            // lost source (its epoch, when the OOB is still readable; the
+            // committed epoch otherwise) but a fresh seqno, so the
+            // unreadable original deterministically loses mount's
+            // newest-wins selection to the healthy copy.
+            ProgramKind::Reconstruct(s) => {
+                let epoch = self
+                    .die(s.die)
+                    .oob(s.page)
+                    .map(|o| o.epoch)
+                    .unwrap_or(self.committed_epoch);
+                self.seq += 1;
+                PageOob {
+                    lpn: lpn.0,
+                    epoch,
+                    seqno: self.seq,
+                }
+            }
         };
         self.channels[ppa.die.channel as usize]
             .die_mut(ppa.die.index)
             .put_oob(ppa.page, oob);
         self.journal_ram.push(JournalEntry::Map { ppa, oob });
-        match src {
-            None => {
+        match kind {
+            ProgramKind::Fresh | ProgramKind::Parity => {
                 if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
                     // Defer: the superseded page may be the last committed
                     // version and must survive until commit_epoch.
                     self.pending_stale.push(stale);
                 }
             }
-            Some(s) => {
+            ProgramKind::Relocate(s) | ProgramKind::Reconstruct(s) => {
                 if self.ftl.lookup(lpn) == Some(s) {
                     // Live copy: move the mapping; the source holds the
                     // same version and can be freed now.
@@ -509,6 +594,10 @@ impl Device {
         self.dead = None;
         self.journal_ram.clear();
         self.pending_stale.clear();
+        // Uncommitted writes roll back below, so every surviving stripe is
+        // parity-consistent; the patrol sweep restarts from the top.
+        self.dirty_stripes.clear();
+        self.scrub_cursor = 0;
 
         let geo = self.config.nand.geometry;
         let t_scan = self.config.nand.timing.t_read_lower;
@@ -885,6 +974,9 @@ impl Device {
         self.check_lpn(lpn)?;
         if let Some(stale) = self.ftl.trim(lpn) {
             invalidate(&mut self.channels, stale);
+            // The stripe's logical content changed (this member is now the
+            // XOR identity): its parity must be rebuilt at the next commit.
+            self.mark_stripe_dirty(lpn);
         }
         Ok(())
     }
@@ -928,50 +1020,19 @@ impl Device {
         Ok((win, data))
     }
 
-    /// Die-local array read under the device's bounded retry policy: each
-    /// ECC-uncorrectable attempt is traced, then re-issued after an
-    /// escalating backoff. The retries charge real plane time (the die
-    /// senses the page again), so faults degrade latency honestly.
+    /// Die-local array read under the device's bounded retry policy
+    /// ([`crate::config::RetryPolicy`]): each ECC-uncorrectable attempt is
+    /// traced, then re-issued after an escalating backoff. The retries
+    /// charge real plane time (the die senses the page again), so faults
+    /// degrade latency honestly. Exhausted retries fall back to RAIN
+    /// stripe reconstruction when parity is armed.
     fn read_array_with_retry(
         &mut self,
         lpn: Lpn,
         ppa: Ppa,
         at: SimTime,
     ) -> Result<(Window, Option<Bytes>), SsdError> {
-        let mut t = at;
-        for attempt in 0..=READ_RETRY_LIMIT {
-            let die = self.channels[ppa.die.channel as usize].die_mut(ppa.die.index);
-            match die.read_page(ppa.page, t) {
-                Ok(ok) => return Ok(ok),
-                Err(NandError::ReadUncorrectable { busy_until, .. }) => {
-                    self.trace_op(
-                        OpKind::ReadFail,
-                        Some(lpn),
-                        ppa.die,
-                        Window {
-                            start: t,
-                            end: busy_until,
-                        },
-                    );
-                    if attempt < READ_RETRY_LIMIT {
-                        self.stats.read_retries.incr();
-                        let backoff = self
-                            .config
-                            .nand
-                            .timing
-                            .t_read_lower
-                            .saturating_mul(attempt as u64 + 1);
-                        t = busy_until + backoff;
-                    }
-                }
-                Err(e) => return Err(e.into()),
-            }
-        }
-        self.stats.uncorrectable_reads.incr();
-        Err(SsdError::UncorrectableRead {
-            lpn,
-            attempts: READ_RETRY_LIMIT + 1,
-        })
+        self.read_retry_inner(lpn, ppa, at, ReadRoute::Array, true)
     }
 
     /// [`Self::read_array_with_retry`], but through the channel bus (host
@@ -983,10 +1044,43 @@ impl Device {
         ppa: Ppa,
         at: SimTime,
     ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.read_retry_inner(lpn, ppa, at, ReadRoute::Channel, true)
+    }
+
+    /// Bounded-retry read used *inside* stripe reconstruction and parity
+    /// rebuild: no recursive recovery (a second unreadable page in the
+    /// stripe is exactly the double loss parity cannot cover) and no
+    /// terminal `uncorrectable_reads` charge — the outer read accounts the
+    /// loss once. Always routed over the channel: peers are XORed in the
+    /// controller.
+    fn read_peer_with_retry(
+        &mut self,
+        lpn: Lpn,
+        ppa: Ppa,
+        at: SimTime,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        self.read_retry_inner(lpn, ppa, at, ReadRoute::Channel, false)
+    }
+
+    /// The one retry loop behind every read path. `recover` gates the
+    /// RAIN fallback and the terminal `uncorrectable_reads` accounting.
+    fn read_retry_inner(
+        &mut self,
+        lpn: Lpn,
+        ppa: Ppa,
+        at: SimTime,
+        route: ReadRoute,
+        recover: bool,
+    ) -> Result<(Window, Option<Bytes>), SsdError> {
+        let policy = self.config.retry;
         let mut t = at;
-        for attempt in 0..=READ_RETRY_LIMIT {
+        for attempt in 0..=policy.max_retries {
             let channel = &mut self.channels[ppa.die.channel as usize];
-            match channel.read_to_controller(ppa.die.index, ppa.page, t) {
+            let attempt_result = match route {
+                ReadRoute::Array => channel.die_mut(ppa.die.index).read_page(ppa.page, t),
+                ReadRoute::Channel => channel.read_to_controller(ppa.die.index, ppa.page, t),
+            };
+            match attempt_result {
                 Ok(ok) => return Ok(ok),
                 Err(NandError::ReadUncorrectable { busy_until, .. }) => {
                     self.trace_op(
@@ -998,25 +1092,313 @@ impl Device {
                             end: busy_until,
                         },
                     );
-                    if attempt < READ_RETRY_LIMIT {
+                    if attempt < policy.max_retries {
                         self.stats.read_retries.incr();
                         let backoff = self
                             .config
                             .nand
                             .timing
                             .t_read_lower
+                            .saturating_mul(policy.backoff_units)
                             .saturating_mul(attempt as u64 + 1);
                         t = busy_until + backoff;
+                    } else {
+                        // Reconstruction (if any) starts where the last
+                        // failed sense left the plane idle.
+                        t = busy_until;
                     }
                 }
                 Err(e) => return Err(e.into()),
             }
         }
-        self.stats.uncorrectable_reads.incr();
+        if recover {
+            if let Some(ok) = self.try_reconstruct(lpn, ppa, t)? {
+                return Ok(ok);
+            }
+            // Terminal: not even parity could serve the page.
+            self.stats.uncorrectable_reads.incr();
+        }
         Err(SsdError::UncorrectableRead {
             lpn,
-            attempts: READ_RETRY_LIMIT + 1,
+            attempts: policy.max_retries + 1,
         })
+    }
+
+    // ── RAIN: die-level parity striping ─────────────────────────────────
+
+    /// Marks `lpn`'s stripe parity stale. Only *logical content changes*
+    /// dirty a stripe (fresh programs, trim); relocations move bytes
+    /// without changing them, so parity stays valid across GC and rescue.
+    fn mark_stripe_dirty(&mut self, lpn: Lpn) {
+        if let Some(w) = self.config.stripe_data_width() {
+            if lpn.0 < self.config.logical_pages() {
+                self.dirty_stripes.insert(lpn.0 / w);
+            }
+        }
+    }
+
+    /// The stripe a data *or parity* LPN belongs to.
+    fn stripe_of(&self, lpn: Lpn) -> u64 {
+        let w = self.config.stripe_data_width().expect("rain armed");
+        let logical = self.config.logical_pages();
+        if lpn.0 < logical {
+            lpn.0 / w
+        } else {
+            lpn.0 - logical
+        }
+    }
+
+    /// Internal LPN of stripe `stripe`'s parity page (beyond host space).
+    fn parity_lpn(&self, stripe: u64) -> Lpn {
+        Lpn(self.config.logical_pages() + stripe)
+    }
+
+    /// Placement for a not-yet-written parity page: the die residue the
+    /// stripe's data members do not occupy (members land on
+    /// `lpn % total_dies`), rotating across stripes like classic RAIN.
+    fn parity_die(&self, stripe: u64) -> DieId {
+        let w = self.config.stripe_data_width().expect("rain armed");
+        let dies = self.config.total_dies() as u64;
+        let flat = ((stripe * w + w) % dies) as u32;
+        DieId::from_flat(flat, self.config.dies_per_channel)
+    }
+
+    /// True when every stripe's parity matches its data (nothing written
+    /// since the last [`Self::commit_epoch`]).
+    pub fn parity_clean(&self) -> bool {
+        self.dirty_stripes.is_empty()
+    }
+
+    /// Rebuilds the parity page of every stripe dirtied since the last
+    /// commit, in stripe order. Runs inside [`Self::commit_epoch`].
+    fn rebuild_dirty_stripes(&mut self, at: SimTime) -> Result<SimTime, SsdError> {
+        let stripes: Vec<u64> = std::mem::take(&mut self.dirty_stripes)
+            .into_iter()
+            .collect();
+        let mut t = at;
+        for stripe in stripes {
+            t = self.rebuild_stripe(stripe, t)?;
+        }
+        Ok(t)
+    }
+
+    /// Reads stripe `stripe`'s mapped data members (in parallel — each die
+    /// senses independently), XORs them in the controller, and programs the
+    /// parity page out-of-place. A fully trimmed stripe drops its parity
+    /// page instead.
+    fn rebuild_stripe(&mut self, stripe: u64, at: SimTime) -> Result<SimTime, SsdError> {
+        let w = self.config.stripe_data_width().expect("rain armed");
+        let logical = self.config.logical_pages();
+        let lo = stripe * w;
+        let hi = (lo + w).min(logical);
+        let parity = self.parity_lpn(stripe);
+        let mut acc: Option<Vec<u8>> = self.functional.then(|| vec![0u8; self.page_bytes()]);
+        let mut t = at;
+        let mut any_member = false;
+        for m in lo..hi {
+            let lpn = Lpn(m);
+            let Some(ppa) = self.ftl.lookup(lpn) else {
+                continue; // unmapped member: XOR identity
+            };
+            any_member = true;
+            let (win, data) = self.read_peer_with_retry(lpn, ppa, at)?;
+            t = t.max(win.end);
+            if let (Some(acc), Some(d)) = (acc.as_mut(), data.as_ref()) {
+                for (a, b) in acc.iter_mut().zip(d.iter()) {
+                    *a ^= b;
+                }
+            }
+        }
+        if !any_member {
+            if let Some(stale) = self.ftl.trim(parity) {
+                invalidate(&mut self.channels, stale);
+            }
+            return Ok(t);
+        }
+        let die = self
+            .ftl
+            .lookup(parity)
+            .map(|p| p.die)
+            .unwrap_or_else(|| self.parity_die(stripe));
+        self.ensure_space(die, t)?;
+        let win = self.program_no_gc(
+            parity,
+            die,
+            acc.as_deref(),
+            t,
+            true,
+            None,
+            ProgramKind::Parity,
+        )?;
+        Ok(win.end)
+    }
+
+    /// Degraded read: serves `lpn` from its stripe peers after the retry
+    /// policy gave up on the mapped page, then re-homes the reconstructed
+    /// content on a fresh physical page and remaps the FTL.
+    ///
+    /// Returns `Ok(None)` — the loss stays uncorrectable — when RAIN is
+    /// off, the stripe's parity is stale (dirtied this epoch), the parity
+    /// page was never built, or a *second* stripe member is unreadable
+    /// (double loss). Parity pages themselves reconstruct from the data
+    /// members by the same XOR.
+    fn try_reconstruct(
+        &mut self,
+        lpn: Lpn,
+        failed: Ppa,
+        at: SimTime,
+    ) -> Result<Option<(Window, Option<Bytes>)>, SsdError> {
+        if self.config.rain.is_none() {
+            return Ok(None);
+        }
+        let stripe = self.stripe_of(lpn);
+        if self.dirty_stripes.contains(&stripe) {
+            return Ok(None); // parity out of date mid-epoch: cannot trust it
+        }
+        let w = self.config.stripe_data_width().expect("rain armed");
+        let logical = self.config.logical_pages();
+        let lo = stripe * w;
+        let hi = (lo + w).min(logical);
+        let parity = self.parity_lpn(stripe);
+        let mut acc: Option<Vec<u8>> = self.functional.then(|| vec![0u8; self.page_bytes()]);
+        let mut t = at;
+        for peer in (lo..hi).chain(std::iter::once(parity.0)).map(Lpn) {
+            if peer == lpn {
+                continue;
+            }
+            let Some(peer_ppa) = self.ftl.lookup(peer) else {
+                if peer == parity {
+                    return Ok(None); // stripe never earned a parity page
+                }
+                continue; // unmapped member: XOR identity
+            };
+            match self.read_peer_with_retry(peer, peer_ppa, at) {
+                Ok((win, data)) => {
+                    t = t.max(win.end);
+                    if let (Some(acc), Some(d)) = (acc.as_mut(), data.as_ref()) {
+                        for (a, b) in acc.iter_mut().zip(d.iter()) {
+                            *a ^= b;
+                        }
+                    }
+                }
+                Err(SsdError::UncorrectableRead { .. }) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        self.ensure_space(failed.die, t)?;
+        let win = self.program_no_gc(
+            lpn,
+            failed.die,
+            acc.as_deref(),
+            t,
+            true,
+            None,
+            ProgramKind::Reconstruct(failed),
+        )?;
+        self.stats.parity_reconstructions.incr();
+        Ok(Some((
+            Window {
+                start: at,
+                end: win.end,
+            },
+            acc.map(Bytes::from),
+        )))
+    }
+
+    /// One background-scrub patrol pass: sweeps up to
+    /// [`crate::config::ScrubConfig::pages_per_tick`] *mapped* addressable
+    /// pages (data and parity) from the persistent cursor, verifying each
+    /// with the full retry-plus-reconstruction read path — so a latent
+    /// single loss is repaired before a second one makes it uncorrectable —
+    /// and proactively rewriting pages whose aged RBER has climbed to
+    /// [`crate::config::ScrubConfig::refresh_fraction`] of the ECC ceiling
+    /// (the rewrite lands on a fresh block, resetting both aging clocks).
+    /// No-op unless [`SsdConfig::scrub`] is set. Returns the sweep's end
+    /// instant and what it did.
+    pub fn scrub_tick(&mut self, at: SimTime) -> Result<(SimTime, ScrubReport), SsdError> {
+        let Some(scrub) = self.config.scrub else {
+            return Ok((at, ScrubReport::default()));
+        };
+        self.check_alive()?;
+        let total = self.config.addressable_pages();
+        let mut report = ScrubReport::default();
+        let mut t = at;
+        let mut examined = 0u64;
+        while report.pages_read < scrub.pages_per_tick as u64 && examined < total {
+            let lpn = Lpn(self.scrub_cursor);
+            self.scrub_cursor = (self.scrub_cursor + 1) % total;
+            examined += 1;
+            let Some(ppa) = self.ftl.lookup(lpn) else {
+                continue;
+            };
+            report.pages_read += 1;
+            self.stats.scrub_reads.incr();
+            let repaired_before = self.stats.parity_reconstructions.get();
+            let read = {
+                let r = self.read_retry_inner(lpn, ppa, t, ReadRoute::Array, true);
+                match r {
+                    Err(SsdError::UncorrectableRead { .. }) => {
+                        // Double loss: the patrol keeps sweeping — later
+                        // stripes may still be repairable.
+                        report.unrecovered += 1;
+                        continue;
+                    }
+                    other => self.observe(other)?,
+                }
+            };
+            let (win, data) = read;
+            self.trace_op(OpKind::ScrubRead, Some(lpn), ppa.die, win);
+            t = win.end;
+            let repaired = self.stats.parity_reconstructions.get() - repaired_before;
+            if repaired > 0 {
+                report.repairs += repaired;
+                self.stats.scrub_repairs.add(repaired);
+                continue;
+            }
+            // Healthy read: check whether aging has pushed this block close
+            // enough to the ECC ceiling to warrant a proactive rewrite.
+            let die = self.die(ppa.die);
+            let rber = die.effective_rber(ppa.page.block_addr(), t)?;
+            let ceiling = die.rber_model().ecc_ceiling;
+            if rber >= scrub.refresh_fraction * ceiling {
+                self.ensure_space(ppa.die, t)?;
+                let refresh = {
+                    let r = self.program_no_gc(
+                        lpn,
+                        ppa.die,
+                        data.as_deref(),
+                        t,
+                        false,
+                        None,
+                        ProgramKind::Relocate(ppa),
+                    );
+                    self.observe(r)?
+                };
+                t = refresh.end;
+                report.refreshes += 1;
+                self.stats.scrub_refreshes.incr();
+            }
+        }
+        Ok((t, report))
+    }
+
+    /// Deterministically destroys the physical page currently holding
+    /// `lpn` (data or parity — anything under [`SsdConfig::addressable_pages`]):
+    /// every subsequent sense is ECC-uncorrectable until the block is
+    /// erased. Test/experiment hook for provoking the degraded-read path
+    /// at a chosen instant.
+    pub fn inject_page_loss(&mut self, lpn: Lpn) -> Result<(), SsdError> {
+        if lpn.0 >= self.config.addressable_pages() {
+            return Err(SsdError::LpnOutOfRange {
+                lpn,
+                capacity: self.config.addressable_pages(),
+            });
+        }
+        let ppa = self.ftl.lookup(lpn).ok_or(SsdError::Unmapped(lpn))?;
+        self.channels[ppa.die.channel as usize]
+            .die_mut(ppa.die.index)
+            .corrupt_page(ppa.page)?;
+        Ok(())
     }
 
     /// **In-storage program.** Writes a new version of `lpn` out-of-place.
@@ -1064,7 +1446,7 @@ impl Device {
     ) -> Result<Window, SsdError> {
         self.ensure_space(die_id, at)?;
         self.maybe_static_wl(die_id, at)?;
-        let win = self.program_no_gc(lpn, die_id, data, at, cross_bus, None, None)?;
+        let win = self.program_no_gc(lpn, die_id, data, at, cross_bus, None, ProgramKind::Fresh)?;
         // Auto-flush gate: only front-door data programs count. GC and
         // rescue copies flow through program_no_gc directly, so a flush can
         // never re-enter itself via the space it frees.
@@ -1097,7 +1479,7 @@ impl Device {
         at: SimTime,
         cross_bus: bool,
         prefer_plane: Option<u32>,
-        src: Option<Ppa>,
+        kind: ProgramKind,
     ) -> Result<Window, SsdError> {
         let die_flat = die_id.flat(self.config.dies_per_channel);
         let wear = self.config.gc.wear_leveling;
@@ -1124,11 +1506,26 @@ impl Device {
                 Ok(win) => {
                     let ppa = Ppa { die: die_id, page };
                     if self.config.journal.is_some() {
-                        self.commit_program_journaled(lpn, ppa, src);
+                        self.commit_program_journaled(lpn, ppa, kind);
                     } else if let Some(stale) = self.ftl.commit_program(lpn, ppa) {
                         invalidate(&mut self.channels, stale);
                     }
-                    self.trace_op(OpKind::Program, Some(lpn), die_id, win);
+                    match kind {
+                        ProgramKind::Fresh => {
+                            self.mark_stripe_dirty(lpn);
+                            self.trace_op(OpKind::Program, Some(lpn), die_id, win);
+                        }
+                        ProgramKind::Relocate(_) => {
+                            self.trace_op(OpKind::Program, Some(lpn), die_id, win);
+                        }
+                        ProgramKind::Parity => {
+                            self.stats.parity_writes.incr();
+                            self.trace_op(OpKind::ParityWrite, Some(lpn), die_id, win);
+                        }
+                        ProgramKind::Reconstruct(_) => {
+                            self.trace_op(OpKind::ParityRepair, Some(lpn), die_id, win);
+                        }
+                    }
                     return Ok(win);
                 }
                 Err(NandError::ProgramFailed {
@@ -1203,7 +1600,7 @@ impl Device {
                 read_win.end,
                 false,
                 Some(src.plane),
-                Some(src_ppa),
+                ProgramKind::Relocate(src_ppa),
             )?;
             self.stats.rescue_copies.incr();
             t = win.end;
@@ -1313,7 +1710,7 @@ impl Device {
                 read_win.end,
                 false,
                 None,
-                Some(src_ppa),
+                ProgramKind::Relocate(src_ppa),
             )?;
             self.stats.gc_copies.incr();
         }
@@ -1834,7 +2231,7 @@ mod tests {
                 }
                 Err(SsdError::UncorrectableRead { lpn, attempts }) => {
                     assert_eq!(lpn, Lpn(0));
-                    assert_eq!(attempts, READ_RETRY_LIMIT + 1);
+                    assert_eq!(attempts, dev.config().retry.max_retries + 1);
                 }
                 Err(e) => panic!("unexpected error {e}"),
             }
@@ -1855,7 +2252,10 @@ mod tests {
         let err = dev.host_read_page(Lpn(1), w.end).unwrap_err();
         assert!(matches!(err, SsdError::UncorrectableRead { .. }));
         assert_eq!(dev.stats().uncorrectable_reads.get(), 1);
-        assert_eq!(dev.stats().read_retries.get(), READ_RETRY_LIMIT as u64);
+        assert_eq!(
+            dev.stats().read_retries.get(),
+            dev.config().retry.max_retries as u64
+        );
     }
 
     #[test]
@@ -2230,5 +2630,259 @@ mod tests {
             with < without * 0.8,
             "static WL must level wear: {with:.2} vs {without:.2}"
         );
+    }
+
+    fn rained() -> Device {
+        Device::new_functional(SsdConfig::tiny().with_rain(crate::config::RainConfig::rotating()))
+    }
+
+    /// Writes `n` pages with per-LPN fill bytes and commits, returning the
+    /// end time.
+    fn write_and_commit(dev: &mut Device, n: u64, salt: u8, at: SimTime) -> SimTime {
+        let mut t = at;
+        for i in 0..n {
+            let data = page(dev, (i as u8).wrapping_add(salt));
+            let w = dev.host_write_page(Lpn(i), Some(&data), t).unwrap();
+            t = w.end;
+        }
+        dev.commit_epoch(t).unwrap()
+    }
+
+    #[test]
+    fn rain_reconstructs_single_loss_bit_exactly() {
+        let mut dev = rained();
+        dev.enable_trace(4096);
+        let t = write_and_commit(&mut dev, 32, 0, SimTime::ZERO);
+        assert!(dev.parity_clean());
+        assert!(dev.stats().parity_writes.get() > 0, "parity must be built");
+
+        dev.inject_page_loss(Lpn(7)).unwrap();
+        let (r, out) = dev.host_read_page(Lpn(7), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 7)[..]);
+        assert_eq!(dev.stats().parity_reconstructions.get(), 1);
+        assert_eq!(
+            dev.stats().uncorrectable_reads.get(),
+            0,
+            "a reconstructed read is not a data loss"
+        );
+        // The page was re-homed: the next read is clean, no second repair.
+        let (_, out2) = dev.host_read_page(Lpn(7), r.end).unwrap();
+        assert_eq!(out2.unwrap().as_ref(), &page(&dev, 7)[..]);
+        assert_eq!(dev.stats().parity_reconstructions.get(), 1);
+
+        let events = dev.trace_events().unwrap();
+        assert!(events.iter().any(|e| e.kind == OpKind::ParityWrite));
+        assert!(events.iter().any(|e| e.kind == OpKind::ParityRepair));
+    }
+
+    #[test]
+    fn double_loss_in_one_stripe_surfaces_uncorrectable() {
+        let mut dev = rained();
+        let t = write_and_commit(&mut dev, 32, 0, SimTime::ZERO);
+        // tiny() has 4 dies → stripe width 3: LPNs 0..3 share stripe 0.
+        dev.inject_page_loss(Lpn(0)).unwrap();
+        dev.inject_page_loss(Lpn(1)).unwrap();
+        let err = dev.host_read_page(Lpn(0), t).unwrap_err();
+        assert!(matches!(err, SsdError::UncorrectableRead { .. }));
+        assert_eq!(dev.stats().uncorrectable_reads.get(), 1);
+        assert_eq!(dev.stats().parity_reconstructions.get(), 0);
+        // A loss in an unrelated stripe is still repairable.
+        dev.inject_page_loss(Lpn(9)).unwrap();
+        let (_, out) = dev.host_read_page(Lpn(9), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 9)[..]);
+        assert_eq!(dev.stats().parity_reconstructions.get(), 1);
+    }
+
+    #[test]
+    fn loss_in_dirty_stripe_is_not_reconstructable() {
+        let mut dev = rained();
+        let t = write_and_commit(&mut dev, 8, 0, SimTime::ZERO);
+        // Dirty stripe 0 by rewriting one member, then lose another member
+        // before the parity rebuild: the stale parity must not be trusted.
+        let w = dev
+            .host_write_page(Lpn(0), Some(&page(&dev, 0xEE)), t)
+            .unwrap();
+        assert!(!dev.parity_clean());
+        dev.inject_page_loss(Lpn(1)).unwrap();
+        let err = dev.host_read_page(Lpn(1), w.end).unwrap_err();
+        assert!(matches!(err, SsdError::UncorrectableRead { .. }));
+        assert_eq!(dev.stats().uncorrectable_reads.get(), 1);
+    }
+
+    #[test]
+    fn parity_pages_reconstruct_from_data_members() {
+        let cfg = SsdConfig::tiny()
+            .with_rain(crate::config::RainConfig::rotating())
+            .with_scrub(crate::config::ScrubConfig::per_step(4096));
+        let mut dev = Device::new_functional(cfg);
+        let t = write_and_commit(&mut dev, 8, 3, SimTime::ZERO);
+        // Destroy a parity page; the scrub patrol (the only reader of
+        // parity LPNs) rebuilds it from the data members.
+        let parity_lpn = Lpn(dev.logical_pages());
+        assert!(dev.ftl().lookup(parity_lpn).is_some(), "parity mapped");
+        dev.inject_page_loss(parity_lpn).unwrap();
+        let (_, report) = dev.scrub_tick(t).unwrap();
+        assert_eq!(report.repairs, 1, "{report:?}");
+        assert_eq!(report.unrecovered, 0);
+        assert_eq!(dev.stats().scrub_repairs.get(), 1);
+        // Repaired: a data loss in that stripe is survivable again.
+        dev.inject_page_loss(Lpn(0)).unwrap();
+        let (_, out) = dev.host_read_page(Lpn(0), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 3)[..]);
+    }
+
+    #[test]
+    fn scrub_repairs_latent_loss_before_it_doubles() {
+        let cfg = SsdConfig::tiny()
+            .with_rain(crate::config::RainConfig::rotating())
+            .with_scrub(crate::config::ScrubConfig::per_step(4096));
+        let mut dev = Device::new_functional(cfg);
+        let t = write_and_commit(&mut dev, 16, 1, SimTime::ZERO);
+        dev.inject_page_loss(Lpn(5)).unwrap();
+        let (end, report) = dev.scrub_tick(t).unwrap();
+        assert!(end > t);
+        assert_eq!(report.repairs, 1, "{report:?}");
+        assert!(report.pages_read >= 16);
+        assert_eq!(dev.stats().scrub_reads.get(), report.pages_read);
+        // Losing a *second* member of the same stripe now is survivable —
+        // the scrub already re-homed the first loss.
+        dev.inject_page_loss(Lpn(4)).unwrap();
+        let (_, out) = dev.host_read_page(Lpn(4), end).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 5)[..]);
+        // A clean follow-up sweep finds nothing to do.
+        let (_, quiet) = dev.scrub_tick(end).unwrap();
+        assert_eq!(quiet.repairs, 0);
+        assert_eq!(quiet.unrecovered, 0);
+    }
+
+    #[test]
+    fn scrub_refreshes_pages_aged_toward_the_ecc_ceiling() {
+        let ceiling = {
+            let probe = Device::new(SsdConfig::tiny());
+            probe
+                .die(DieId {
+                    channel: 0,
+                    index: 0,
+                })
+                .rber_model()
+                .ecc_ceiling
+        };
+        // Retention alone crosses half the ceiling within ~25 simulated
+        // seconds; read disturb off to keep the test single-cause.
+        let aging = nandsim::AgingConfig {
+            read_disturb_per_read: 0.0,
+            retention_per_sec: ceiling / 50.0,
+        };
+        let cfg = SsdConfig::tiny()
+            .with_aging(aging)
+            .with_rain(crate::config::RainConfig::rotating())
+            .with_scrub(crate::config::ScrubConfig::per_step(4096));
+        let mut dev = Device::new(cfg);
+        let mut t = SimTime::ZERO;
+        for i in 0..16u64 {
+            t = dev.host_write_page(Lpn(i), None, t).unwrap().end;
+        }
+        t = dev.commit_epoch(t).unwrap();
+        // Young data: nothing to refresh.
+        let (t_young, young) = dev.scrub_tick(t).unwrap();
+        assert_eq!(young.refreshes, 0, "{young:?}");
+        // A long retention pause ages every block past the threshold.
+        let late = t_young + simkit::SimDuration::from_secs(100);
+        let (_, old) = dev.scrub_tick(late).unwrap();
+        assert!(old.refreshes > 0, "{old:?}");
+        assert_eq!(dev.stats().scrub_refreshes.get(), old.refreshes);
+        // The rewrite reset the retention clock: an immediate re-sweep
+        // finds the refreshed pages young again.
+        let (_, again) = dev.scrub_tick(late).unwrap();
+        assert!(again.refreshes < old.refreshes, "{again:?} vs {old:?}");
+    }
+
+    #[test]
+    fn parity_survives_gc_churn() {
+        let mut dev = rained();
+        // Parity pages consume over-provisioning headroom, so fill only
+        // half the logical space and churn within it.
+        let pages = dev.logical_pages() / 2;
+        let mut t = SimTime::ZERO;
+        for i in 0..pages {
+            t = dev
+                .host_write_page(Lpn(i), Some(&page(&dev, i as u8)), t)
+                .unwrap()
+                .end;
+        }
+        t = dev.commit_epoch(t).unwrap();
+        // Hot rewrites force GC; every epoch rebuilds the touched parity.
+        for round in 0..20u8 {
+            for i in 0..pages / 8 {
+                let fill = (i as u8).wrapping_add(round);
+                t = dev
+                    .host_write_page(Lpn(i), Some(&page(&dev, fill)), t)
+                    .unwrap()
+                    .end;
+            }
+            t = dev.commit_epoch(t).unwrap();
+        }
+        assert!(dev.stats().erases.get() > 0, "GC must have run");
+        assert!(dev.parity_clean());
+        // Relocations did not invalidate parity: a fresh loss anywhere is
+        // still reconstructable, bit-exactly.
+        dev.inject_page_loss(Lpn(1)).unwrap();
+        let (_, out) = dev.host_read_page(Lpn(1), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 1u8.wrapping_add(19))[..]);
+        assert_eq!(dev.stats().parity_reconstructions.get(), 1);
+        assert_eq!(dev.stats().uncorrectable_reads.get(), 0);
+    }
+
+    #[test]
+    fn rain_composes_with_journal_and_mount() {
+        let cfg = SsdConfig::tiny()
+            .with_journal(crate::config::JournalConfig::every(4))
+            .with_rain(crate::config::RainConfig::rotating());
+        let mut dev = Device::new_functional(cfg);
+        dev.begin_epoch(1);
+        let t = write_and_commit(&mut dev, 12, 9, SimTime::ZERO);
+        // Mount rebuilds the FTL (including the internal parity LPNs) from
+        // journal + OOB alone.
+        let report = dev.mount(t).unwrap();
+        assert_eq!(report.committed_epoch, 1);
+        let t = report.window.end;
+        assert!(
+            dev.ftl().lookup(Lpn(dev.logical_pages())).is_some(),
+            "parity mapping must survive mount"
+        );
+        dev.inject_page_loss(Lpn(2)).unwrap();
+        let (_, out) = dev.host_read_page(Lpn(2), t).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 11)[..]);
+        assert_eq!(dev.stats().parity_reconstructions.get(), 1);
+        // And the device keeps journaling afterwards.
+        dev.begin_epoch(2);
+        let t2 = {
+            let w = dev
+                .host_write_page(Lpn(0), Some(&page(&dev, 0xAB)), t)
+                .unwrap();
+            dev.commit_epoch(w.end).unwrap()
+        };
+        assert_eq!(dev.committed_epoch(), 2);
+        let (_, out) = dev.host_read_page(Lpn(0), t2).unwrap();
+        assert_eq!(out.unwrap().as_ref(), &page(&dev, 0xAB)[..]);
+    }
+
+    #[test]
+    fn inject_page_loss_validates_its_target() {
+        let mut dev = rained();
+        let cap = dev.config().addressable_pages();
+        assert!(matches!(
+            dev.inject_page_loss(Lpn(cap)),
+            Err(SsdError::LpnOutOfRange { .. })
+        ));
+        assert!(matches!(
+            dev.inject_page_loss(Lpn(0)),
+            Err(SsdError::Unmapped(_))
+        ));
+        // Scrub on a rain-less, scrub-less device is a free no-op.
+        let mut plain = Device::new(SsdConfig::tiny());
+        let (end, report) = plain.scrub_tick(SimTime::from_us(5)).unwrap();
+        assert_eq!(end, SimTime::from_us(5));
+        assert_eq!(report, ScrubReport::default());
     }
 }

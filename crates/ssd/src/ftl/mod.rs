@@ -34,7 +34,9 @@ impl Ftl {
     /// Creates the FTL for `config`, with every block of every die free.
     pub fn new(config: &SsdConfig, dies: &[Die]) -> Self {
         Ftl {
-            l2p: L2pTable::new(config.logical_pages(), config.dies_per_channel),
+            // Sized to the addressable space: host-visible pages plus (with
+            // RAIN armed) the internal parity LPNs beyond them.
+            l2p: L2pTable::new(config.addressable_pages(), config.dies_per_channel),
             rmap: ReverseMap::new(config.nand.geometry.pages_per_block),
             alloc: dies.iter().map(DieAlloc::new).collect(),
             dies_per_channel: config.dies_per_channel,

@@ -26,8 +26,18 @@
 //!   (see [`nandsim::FaultConfig`]), the device recovers: failed programs
 //!   retire the block and re-home the page (rescuing the block's valid
 //!   pages), failed erases retire the GC victim, and uncorrectable reads
-//!   are retried with backoff before surfacing a typed
-//!   [`SsdError::UncorrectableRead`].
+//!   are retried with backoff (bounds set by [`RetryPolicy`]) before
+//!   surfacing a typed [`SsdError::UncorrectableRead`].
+//! * **Die-level parity (RAIN) + background scrub** — [`SsdConfig::rain`]
+//!   stripes user pages across dies with one rotating XOR parity page per
+//!   stripe, rebuilt at every [`Device::commit_epoch`]; a read that stays
+//!   uncorrectable after every retry is reconstructed from its stripe
+//!   peers, re-homed, and remapped, so only a double loss per stripe
+//!   surfaces. [`SsdConfig::scrub`] adds a patrol sweep
+//!   ([`Device::scrub_tick`]) that finds and repairs latent losses — and
+//!   refreshes pages whose aged RBER (see [`nandsim::AgingConfig`])
+//!   approaches the ECC ceiling — before a second loss lands
+//!   (reconstructed Figure 26).
 //!
 //! ## Example
 //!
@@ -59,8 +69,10 @@ pub mod trace;
 
 pub use address::{DieId, Lpn, Ppa};
 pub use channel::Channel;
-pub use config::{GcPolicy, JournalConfig, PciGen, SsdConfig};
-pub use device::{Device, MountReport};
+pub use config::{
+    GcPolicy, JournalConfig, PciGen, RainConfig, RetryPolicy, ScrubConfig, SsdConfig,
+};
+pub use device::{Device, MountReport, ScrubReport};
 pub use error::SsdError;
 pub use nvme::NvmeQueue;
 pub use stats::{erase_histogram, wear_imbalance, DeviceStats, UtilizationReport};
@@ -68,4 +80,4 @@ pub use stats::{erase_histogram, wear_imbalance, DeviceStats, UtilizationReport}
 // Fault-injection configuration and counters, re-exported so clients that
 // arm [`SsdConfig::fault`] or [`Device::arm_power_loss`] need not depend on
 // `nandsim` directly.
-pub use nandsim::{FaultConfig, FaultStats, PageOob, PowerLossConfig};
+pub use nandsim::{AgingConfig, FaultConfig, FaultStats, PageOob, PowerLossConfig};

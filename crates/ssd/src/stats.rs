@@ -50,6 +50,23 @@ pub struct DeviceStats {
     /// Pages whose OOB had to be sensed at mount because the flushed
     /// journal did not cover them — what the flush interval buys down.
     pub mount_scanned_pages: Counter,
+    /// RAIN parity pages programmed (stripe rebuilds at epoch commit) —
+    /// the parity write overhead.
+    pub parity_writes: Counter,
+    /// Pages served by XOR reconstruction from stripe peers after the
+    /// retry policy exhausted. These do **not** count as
+    /// [`Self::uncorrectable_reads`]: that counter keeps its terminal
+    /// data-lost meaning, so the two together distinguish "reconstructed
+    /// from parity" from "data lost".
+    pub parity_reconstructions: Counter,
+    /// Mapped pages the background scrub patrol-read.
+    pub scrub_reads: Counter,
+    /// Latent losses the scrub found and repaired from parity (subset of
+    /// [`Self::parity_reconstructions`]).
+    pub scrub_repairs: Counter,
+    /// Pages the scrub proactively rewrote because aging pushed their RBER
+    /// near the ECC ceiling.
+    pub scrub_refreshes: Counter,
 }
 
 impl DeviceStats {
@@ -126,6 +143,11 @@ impl DeviceStats {
                 "journal_pages" => stats.journal_pages.add(value),
                 "torn_pages_discarded" => stats.torn_pages_discarded.add(value),
                 "mount_scanned_pages" => stats.mount_scanned_pages.add(value),
+                "parity_writes" => stats.parity_writes.add(value),
+                "parity_reconstructions" => stats.parity_reconstructions.add(value),
+                "scrub_reads" => stats.scrub_reads.add(value),
+                "scrub_repairs" => stats.scrub_repairs.add(value),
+                "scrub_refreshes" => stats.scrub_refreshes.add(value),
                 other => return Err(format!("unknown stats field {other:?}")),
             }
         }
@@ -158,6 +180,12 @@ impl DeviceStats {
             .add(other.torn_pages_discarded.get());
         self.mount_scanned_pages
             .add(other.mount_scanned_pages.get());
+        self.parity_writes.add(other.parity_writes.get());
+        self.parity_reconstructions
+            .add(other.parity_reconstructions.get());
+        self.scrub_reads.add(other.scrub_reads.get());
+        self.scrub_repairs.add(other.scrub_repairs.get());
+        self.scrub_refreshes.add(other.scrub_refreshes.get());
     }
 
     /// Every field as a `(name, value)` pair, in declaration order.
@@ -184,6 +212,11 @@ impl DeviceStats {
             ("journal_pages", self.journal_pages.get()),
             ("torn_pages_discarded", self.torn_pages_discarded.get()),
             ("mount_scanned_pages", self.mount_scanned_pages.get()),
+            ("parity_writes", self.parity_writes.get()),
+            ("parity_reconstructions", self.parity_reconstructions.get()),
+            ("scrub_reads", self.scrub_reads.get()),
+            ("scrub_repairs", self.scrub_repairs.get()),
+            ("scrub_refreshes", self.scrub_refreshes.get()),
         ]
     }
 }
@@ -284,11 +317,18 @@ mod tests {
         s.journal_pages.add(18);
         s.torn_pages_discarded.add(19);
         s.mount_scanned_pages.add(20);
+        s.parity_writes.add(21);
+        s.parity_reconstructions.add(22);
+        s.scrub_reads.add(23);
+        s.scrub_repairs.add(24);
+        s.scrub_refreshes.add(25);
 
         let back = DeviceStats::from_snapshot(&s.to_snapshot()).unwrap();
         assert_eq!(back.to_snapshot(), s.to_snapshot());
         assert_eq!(back.mounts.get(), 16);
         assert_eq!(back.torn_pages_discarded.get(), 19);
+        assert_eq!(back.parity_reconstructions.get(), 22);
+        assert_eq!(back.scrub_refreshes.get(), 25);
         assert_eq!(back.pcie_in_busy, SimDuration::from_us(8));
         assert_eq!(back.media_faults(), s.media_faults());
         assert!((back.waf() - s.waf()).abs() < 1e-12);

@@ -34,6 +34,13 @@ pub enum OpKind {
     MountReplay,
     /// OOB scan during mount recovery of pages the journal did not cover.
     MountScan,
+    /// RAIN stripe-parity page program (rebuild at epoch commit).
+    ParityWrite,
+    /// Re-home program of a page reconstructed from its stripe peers after
+    /// the retry policy exhausted (degraded read that succeeded).
+    ParityRepair,
+    /// Background-scrub patrol read verifying a mapped page.
+    ScrubRead,
 }
 
 impl OpKind {
@@ -49,6 +56,9 @@ impl OpKind {
             OpKind::JournalWrite => 'J',
             OpKind::MountReplay => 'm',
             OpKind::MountScan => 'M',
+            OpKind::ParityWrite => 'p',
+            OpKind::ParityRepair => 'R',
+            OpKind::ScrubRead => 's',
         }
     }
 
@@ -66,6 +76,9 @@ impl OpKind {
             OpKind::JournalWrite => "journal-write",
             OpKind::MountReplay => "mount-replay",
             OpKind::MountScan => "mount-scan",
+            OpKind::ParityWrite => "parity-write",
+            OpKind::ParityRepair => "parity-repair",
+            OpKind::ScrubRead => "scrub-read",
         }
     }
 
@@ -81,6 +94,9 @@ impl OpKind {
             "journal-write" => OpKind::JournalWrite,
             "mount-replay" => OpKind::MountReplay,
             "mount-scan" => OpKind::MountScan,
+            "parity-write" => OpKind::ParityWrite,
+            "parity-repair" => OpKind::ParityRepair,
+            "scrub-read" => OpKind::ScrubRead,
             _ => return None,
         })
     }
@@ -243,17 +259,18 @@ pub fn peak_concurrency(events: &[TraceEvent], die_flat: u32) -> usize {
     peak.max(0) as usize
 }
 
-/// Rendering priority when several events share a gantt cell. Faults must
-/// stay visible over everything; erases over programs and journal writes;
-/// those over reads and mount activity; anything over idle. A glyph only
-/// replaces a strictly lower-priority one, so the first event at a given
-/// priority keeps the cell.
+/// Rendering priority when several events share a gantt cell. Faults and
+/// parity repairs must stay visible over everything; erases over programs,
+/// journal and parity writes; those over reads, mount activity and scrub
+/// patrols; anything over idle. A glyph only replaces a strictly
+/// lower-priority one, so the first event at a given priority keeps the
+/// cell.
 fn cell_priority(c: char) -> u8 {
     match c {
-        'x' | 'X' | '!' => 4,
+        'x' | 'X' | '!' | 'R' => 4,
         'E' => 3,
-        'P' | 'J' => 2,
-        'r' | 'm' | 'M' => 1,
+        'P' | 'J' | 'p' => 2,
+        'r' | 'm' | 'M' | 's' => 1,
         _ => 0,
     }
 }
@@ -405,6 +422,27 @@ mod tests {
     }
 
     #[test]
+    fn parity_and_scrub_glyphs_layer_correctly() {
+        // A parity repair stays visible like a fault; parity writes render
+        // like programs; scrub patrols render like reads and lose to both.
+        let events = [
+            ev(OpKind::ScrubRead, 0, 0, 40),
+            ev(OpKind::ParityRepair, 0, 0, 40), // covers the patrol read
+            ev(OpKind::ScrubRead, 1, 0, 40),
+            ev(OpKind::ParityWrite, 1, 0, 40), // covers the patrol read
+            ev(OpKind::ScrubRead, 2, 0, 40),   // alone: visible
+        ];
+        let g = gantt(&events, SimDuration::from_us(40), 4);
+        assert!(g.contains('R'), "{g}");
+        assert!(g.contains('p'), "{g}");
+        let die2 = g.lines().nth(2).unwrap();
+        assert!(die2.contains('s'), "{g}");
+        assert!(!OpKind::ParityWrite.is_fault());
+        assert!(!OpKind::ScrubRead.is_fault());
+        assert!(!OpKind::ParityRepair.is_fault());
+    }
+
+    #[test]
     fn text_records_round_trip_every_kind() {
         use crate::address::Lpn;
         let kinds = [
@@ -417,6 +455,9 @@ mod tests {
             OpKind::JournalWrite,
             OpKind::MountReplay,
             OpKind::MountScan,
+            OpKind::ParityWrite,
+            OpKind::ParityRepair,
+            OpKind::ScrubRead,
         ];
         for (i, kind) in kinds.into_iter().enumerate() {
             let e = TraceEvent {

@@ -19,15 +19,20 @@
 //! * [`FaultScenario`] — named, seeded media-fault scenarios (and the F24
 //!   sweep grid) so the reliability experiments and the recovery tests
 //!   inject identical, reproducible fault streams.
+//! * [`AgingSchedule`] — named, seeded media-aging scenarios (read-disturb
+//!   skew, retention pauses) driving the RAIN/scrub reliability sweep
+//!   (F26) the same way.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod aging;
 mod faults;
 mod gradients;
 mod slicing;
 mod task;
 
+pub use aging::{aging_schedule_by_name, aging_schedules, AgingSchedule};
 pub use faults::{
     crash_schedules, fault_sweep_grid, CrashPhase, CrashSchedule, FaultScenario, SWEEP_AGES,
     SWEEP_RATES,

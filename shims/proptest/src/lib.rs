@@ -20,15 +20,30 @@ pub struct ProptestConfig {
 
 impl ProptestConfig {
     /// A configuration running `cases` cases per property.
+    ///
+    /// Deviation from real proptest: the `PROPTEST_CASES` environment
+    /// variable acts as a **floor**, not an override — CI's extended
+    /// job raises every property to at least that many cases, while
+    /// properties that already ask for more keep their larger count.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases: cases.max(env_case_floor()),
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        Self::with_cases(64)
     }
+}
+
+/// The `PROPTEST_CASES` floor; 0 (no effect) when unset or unparsable.
+fn env_case_floor() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
 }
 
 /// The sampling PRNG handed to strategies (SplitMix64).

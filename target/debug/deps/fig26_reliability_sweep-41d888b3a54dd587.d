@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig26_reliability_sweep-41d888b3a54dd587.d: crates/bench/src/bin/fig26_reliability_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig26_reliability_sweep-41d888b3a54dd587.rmeta: crates/bench/src/bin/fig26_reliability_sweep.rs Cargo.toml
+
+crates/bench/src/bin/fig26_reliability_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

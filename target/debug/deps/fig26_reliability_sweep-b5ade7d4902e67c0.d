@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig26_reliability_sweep-b5ade7d4902e67c0.d: crates/bench/src/bin/fig26_reliability_sweep.rs
+
+/root/repo/target/debug/deps/fig26_reliability_sweep-b5ade7d4902e67c0: crates/bench/src/bin/fig26_reliability_sweep.rs
+
+crates/bench/src/bin/fig26_reliability_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reliability-28d75487108de1a8.d: tests/reliability.rs
+
+/root/repo/target/debug/deps/reliability-28d75487108de1a8: tests/reliability.rs
+
+tests/reliability.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reliability-4739d8280a4a1f32.d: tests/reliability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreliability-4739d8280a4a1f32.rmeta: tests/reliability.rs Cargo.toml
+
+tests/reliability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

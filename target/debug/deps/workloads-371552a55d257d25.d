@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/workloads-371552a55d257d25.d: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/debug/deps/workloads-371552a55d257d25.d: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
-/root/repo/target/debug/deps/libworkloads-371552a55d257d25.rlib: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/debug/deps/libworkloads-371552a55d257d25.rlib: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
-/root/repo/target/debug/deps/libworkloads-371552a55d257d25.rmeta: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/debug/deps/libworkloads-371552a55d257d25.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/aging.rs:
 crates/workloads/src/faults.rs:
 crates/workloads/src/gradients.rs:
 crates/workloads/src/slicing.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/workloads-8f1e05911f3ee269.d: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/debug/deps/workloads-8f1e05911f3ee269.d: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
-/root/repo/target/debug/deps/workloads-8f1e05911f3ee269: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/debug/deps/workloads-8f1e05911f3ee269: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/aging.rs:
 crates/workloads/src/faults.rs:
 crates/workloads/src/gradients.rs:
 crates/workloads/src/slicing.rs:

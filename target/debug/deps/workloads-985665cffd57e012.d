@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/workloads-985665cffd57e012.d: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/workloads-985665cffd57e012.d: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs Cargo.toml
 
-/root/repo/target/debug/deps/libworkloads-985665cffd57e012.rmeta: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs Cargo.toml
+/root/repo/target/debug/deps/libworkloads-985665cffd57e012.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs Cargo.toml
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/aging.rs:
 crates/workloads/src/faults.rs:
 crates/workloads/src/gradients.rs:
 crates/workloads/src/slicing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig26_reliability_sweep-9582ccecb07f0f6d.d: crates/bench/src/bin/fig26_reliability_sweep.rs
+
+/root/repo/target/release/deps/fig26_reliability_sweep-9582ccecb07f0f6d: crates/bench/src/bin/fig26_reliability_sweep.rs
+
+crates/bench/src/bin/fig26_reliability_sweep.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/workloads-a9d1d0376f735c50.d: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/release/deps/workloads-a9d1d0376f735c50.d: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
-/root/repo/target/release/deps/libworkloads-a9d1d0376f735c50.rlib: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/release/deps/libworkloads-a9d1d0376f735c50.rlib: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
-/root/repo/target/release/deps/libworkloads-a9d1d0376f735c50.rmeta: crates/workloads/src/lib.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
+/root/repo/target/release/deps/libworkloads-a9d1d0376f735c50.rmeta: crates/workloads/src/lib.rs crates/workloads/src/aging.rs crates/workloads/src/faults.rs crates/workloads/src/gradients.rs crates/workloads/src/slicing.rs crates/workloads/src/task.rs
 
 crates/workloads/src/lib.rs:
+crates/workloads/src/aging.rs:
 crates/workloads/src/faults.rs:
 crates/workloads/src/gradients.rs:
 crates/workloads/src/slicing.rs:
