@@ -1,0 +1,168 @@
+//! Serial-vs-parallel wall-clock for the deterministic data plane
+//! (`simkit::par`): runs the functional integration workload (every
+//! optimizer, die- and channel-level NDP) and the fig24/fig26 sweep grids
+//! twice — pool forced to one thread, then to the host's full width —
+//! verifies the two functional runs are bit-identical, and writes the
+//! timings to `BENCH_parallel.json` (path overridable as the first
+//! argument).
+//!
+//! Exits non-zero if the parallel functional run is slower than the serial
+//! one on a multi-core host (on a single-core host the comparison is
+//! recorded but not enforced — there is nothing to win).
+
+use std::time::Instant;
+
+use optim_math::OptimizerKind;
+use optimstore_bench::runners::optimizer_and_spec;
+use optimstore_core::{OptimStoreConfig, OptimStoreDevice};
+use simkit::SimTime;
+use ssdsim::SsdConfig;
+use workloads::{GradientGen, WeightInit};
+
+const PARAMS: u64 = 200_000;
+const STEPS: u64 = 4;
+const FIG24_CAP: u64 = 1 << 20;
+const FIG26_CAP: u64 = 40_000;
+
+/// One functional training cell: fresh device, seeded weights/gradients,
+/// `STEPS` steps, final master weights (the bit-exactness witness).
+fn functional_cell(kind: OptimizerKind, cfg: OptimStoreConfig) -> Vec<f32> {
+    let (optimizer, spec) = optimizer_and_spec(kind);
+    let mut dev = OptimStoreDevice::new_functional(SsdConfig::tiny(), cfg, PARAMS, optimizer, spec)
+        .expect("tiny device fits the functional suite");
+    let weights = WeightInit::default().generate(PARAMS as usize);
+    let mut at = dev.load_weights(&weights, SimTime::ZERO).expect("load");
+    for step in 1..=STEPS {
+        let grads = GradientGen::new(0xBE2C).generate(step, PARAMS as usize);
+        at = dev.run_step(Some(&grads), at).expect("step").end;
+    }
+    dev.read_master_weights(at).expect("readback")
+}
+
+/// The functional integration workload: every optimizer on both NDP tiers.
+/// Cells run through `run_parallel` (so the harness-level pool is
+/// exercised) and each `run_step` inside exercises the executor's
+/// data-plane phases.
+fn functional_suite() -> Vec<Vec<f32>> {
+    let mut jobs: Vec<Box<dyn FnOnce() -> Vec<f32> + Send>> = Vec::new();
+    for kind in OptimizerKind::all() {
+        for cfg in [OptimStoreConfig::die_ndp(), OptimStoreConfig::channel_ndp()] {
+            jobs.push(Box::new(move || functional_cell(kind, cfg)));
+        }
+    }
+    optimstore_bench::runners::run_parallel(jobs)
+}
+
+fn timed<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t = Instant::now();
+    let r = f();
+    (t.elapsed().as_secs_f64(), r)
+}
+
+struct Entry {
+    name: &'static str,
+    serial_secs: f64,
+    parallel_secs: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        if self.parallel_secs > 0.0 {
+            self.serial_secs / self.parallel_secs
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Times `f` with the pool forced serial, then at the host's full width.
+/// One untimed warm-up run precedes the measurements so neither timed run
+/// pays first-touch costs (page faults, lazy allocation) the other
+/// doesn't — without it the second run shows a phantom "speedup" even on
+/// a single-core host.
+fn measure<R>(name: &'static str, width: usize, f: impl Fn() -> R) -> (Entry, R, R) {
+    simkit::par::set_threads(1);
+    drop(timed(&f));
+    let (serial_secs, serial_out) = timed(&f);
+    simkit::par::set_threads(width);
+    let (parallel_secs, parallel_out) = timed(&f);
+    simkit::par::set_threads(0);
+    (
+        Entry {
+            name,
+            serial_secs,
+            parallel_secs,
+        },
+        serial_out,
+        parallel_out,
+    )
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_parallel.json".into());
+    let width = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let (suite, serial_weights, parallel_weights) =
+        measure("functional-suite", width, functional_suite);
+    // The whole point of the split: any pool width produces the same bytes.
+    assert_eq!(serial_weights.len(), parallel_weights.len());
+    for (cell, (a, b)) in serial_weights.iter().zip(&parallel_weights).enumerate() {
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "cell {cell}: parallel run diverged from serial"
+        );
+    }
+    println!(
+        "functional suite: serial {:.2}s, parallel {:.2}s ({} threads, {:.2}x), bit-exact",
+        suite.serial_secs,
+        suite.parallel_secs,
+        width,
+        suite.speedup()
+    );
+
+    let (fig24, _, _) = measure("fig24-fault-sweep", width, || {
+        optimstore_bench::experiments::fig24_fault_sweep(FIG24_CAP)
+    });
+    let (fig26, _, _) = measure("fig26-reliability-sweep", width, || {
+        optimstore_bench::experiments::fig26_reliability_sweep(FIG26_CAP)
+    });
+
+    let entries = [&suite, &fig24, &fig26];
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"pool_width\": {width},\n"));
+    json.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"serial_secs\": {:.3}, \"parallel_secs\": {:.3}, \"speedup\": {:.3}}}{}\n",
+            e.name,
+            e.serial_secs,
+            e.parallel_secs,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {out_path}");
+    for e in entries {
+        println!(
+            "  {:<24} serial {:>7.2}s  parallel {:>7.2}s  {:>5.2}x",
+            e.name,
+            e.serial_secs,
+            e.parallel_secs,
+            e.speedup()
+        );
+    }
+
+    if width >= 2 && suite.parallel_secs > suite.serial_secs {
+        eprintln!(
+            "FAIL: parallel functional suite ({:.2}s) slower than serial ({:.2}s) on {} threads",
+            suite.parallel_secs, suite.serial_secs, width
+        );
+        std::process::exit(1);
+    }
+}

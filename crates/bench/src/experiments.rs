@@ -991,53 +991,79 @@ pub fn fig24_fault_sweep(cap: u64) {
         "retired blks",
         "rescued pages",
     ]);
+    // Every grid cell builds its own seeded device, so the cells fan out on
+    // the data-plane pool and merge back in grid order; the per-age-block
+    // fault-free control ratios fold in serially afterwards, exactly as the
+    // serial sweep computed them.
+    struct Cell {
+        rate: f64,
+        age_fraction: f64,
+        step: f64,
+        fails: String,
+        retired: String,
+        rescued: String,
+    }
+    let jobs: Vec<Box<dyn FnOnce() -> Cell + Send>> = workloads::fault_sweep_grid(24)
+        .into_iter()
+        .map(|s| {
+            Box::new(move || {
+                let rate = s.fault.program_fail;
+                let ssd = if s.fault.is_active() {
+                    base.with_fault(s.fault)
+                } else {
+                    base
+                };
+                let granule = crate::runners::granule(&ssd);
+                let slice = workloads::SlicedRun::plan(params, cap, granule);
+                let (optimizer, spec) = optimizer_and_spec(ADAM);
+                let mut dev = OptimStoreDevice::new(
+                    ssd,
+                    OptimStoreConfig::die_ndp(),
+                    slice.sim_params,
+                    optimizer,
+                    spec,
+                )
+                .unwrap();
+                dev.simulate_wear(s.pe_cycles(rated));
+                let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
+                let r1 = dev.run_step(None, t0).unwrap();
+                let t1 = dev.quiesce_time().max(r1.end);
+                let r2 = dev.run_step(None, t1).unwrap();
+                let st = dev.ssd().stats();
+                Cell {
+                    rate,
+                    age_fraction: s.age_fraction,
+                    step: slice.scale_duration(r2.duration).as_secs_f64(),
+                    fails: format!(
+                        "{}/{}/{}",
+                        st.program_failures.get(),
+                        st.erase_failures.get(),
+                        st.read_retries.get()
+                    ),
+                    retired: st.retired_blocks.get().to_string(),
+                    rescued: st.rescue_copies.get().to_string(),
+                }
+            }) as Box<dyn FnOnce() -> Cell + Send>
+        })
+        .collect();
     let mut fault_free = 0.0f64;
-    for s in workloads::fault_sweep_grid(24) {
-        let rate = s.fault.program_fail;
-        let ssd = if s.fault.is_active() {
-            base.with_fault(s.fault)
-        } else {
-            base
-        };
-        let granule = crate::runners::granule(&ssd);
-        let slice = workloads::SlicedRun::plan(params, cap, granule);
-        let (optimizer, spec) = optimizer_and_spec(ADAM);
-        let mut dev = OptimStoreDevice::new(
-            ssd,
-            OptimStoreConfig::die_ndp(),
-            slice.sim_params,
-            optimizer,
-            spec,
-        )
-        .unwrap();
-        dev.simulate_wear(s.pe_cycles(rated));
-        let t0 = dev.load_phantom(SimTime::ZERO).unwrap();
-        let r1 = dev.run_step(None, t0).unwrap();
-        let t1 = dev.quiesce_time().max(r1.end);
-        let r2 = dev.run_step(None, t1).unwrap();
-        let step = slice.scale_duration(r2.duration).as_secs_f64();
-        if rate == 0.0 {
+    for c in crate::runners::run_parallel(jobs) {
+        if c.rate == 0.0 {
             // First column of each age block is its fault-free control.
-            fault_free = step;
+            fault_free = c.step;
         }
-        let st = dev.ssd().stats();
         t.row(&[
-            if rate == 0.0 {
+            if c.rate == 0.0 {
                 "0 (control)".into()
             } else {
-                format!("{rate:.0e}")
+                format!("{:.0e}", c.rate)
             },
-            format!("{:.0}% PE", s.age_fraction * 100.0),
-            fmt_secs(step),
-            format!("{:.2}x", step / fault_free),
-            format!(
-                "{}/{}/{}",
-                st.program_failures.get(),
-                st.erase_failures.get(),
-                st.read_retries.get()
-            ),
-            st.retired_blocks.get().to_string(),
-            st.rescue_copies.get().to_string(),
+            format!("{:.0}% PE", c.age_fraction * 100.0),
+            fmt_secs(c.step),
+            format!("{:.2}x", c.step / fault_free),
+            c.fails,
+            c.retired,
+            c.rescued,
         ]);
     }
     t.print();
@@ -1113,69 +1139,90 @@ pub fn fig25_crash_sweep(_cap: u64) {
             .map(|e| (e.start, e.end))
             .collect();
 
-        for s in crash_schedules(25) {
-            let tc = match s.phase {
-                CrashPhase::Step { step } | CrashPhase::DuringMount { step } => {
-                    let (start, end) = windows[(step - 1) as usize];
-                    s.instant(start, end)
-                }
-                CrashPhase::WriteBack { step } => {
-                    let (start, end) = windows[(step - 1) as usize];
-                    s.instant(start + (end - start).saturating_mul(3) / 4, end)
-                }
-                CrashPhase::DuringGc => {
-                    let idx = ((s.fraction * erases.len() as f64) as usize)
-                        .min(erases.len().saturating_sub(1));
-                    let (start, end) = erases[idx];
-                    s.instant(start, end)
-                }
-            };
-            let mut dev = make_dev(interval);
-            let t0 = dev.load_weights(&weights, SimTime::ZERO).unwrap();
-            dev.ssd_mut().arm_power_loss(PowerLossConfig::at(tc));
-            let mut at = t0;
-            let mut failed = 0;
-            for step in 1..=STEPS {
-                match dev.run_step(Some(&grad(step)), at) {
-                    Ok(r) => at = r.end,
-                    Err(optimstore_core::CoreError::Ssd(SsdError::PowerLoss { .. })) => {
-                        failed = step;
-                        break;
+        // Every schedule cell crashes its own fresh device against the
+        // shared reference windows, so the cells of an interval fan out on
+        // the data-plane pool and their rows merge back in schedule order.
+        let jobs: Vec<Box<dyn FnOnce() -> [String; 8] + Send>> = crash_schedules(25)
+            .into_iter()
+            .map(|s| {
+                let windows = &windows;
+                let erases = &erases;
+                let weights = &weights;
+                let master_ref = &master_ref;
+                let make_dev = &make_dev;
+                let grad = &grad;
+                Box::new(move || {
+                    let tc = match s.phase {
+                        CrashPhase::Step { step } | CrashPhase::DuringMount { step } => {
+                            let (start, end) = windows[(step - 1) as usize];
+                            s.instant(start, end)
+                        }
+                        CrashPhase::WriteBack { step } => {
+                            let (start, end) = windows[(step - 1) as usize];
+                            s.instant(start + (end - start).saturating_mul(3) / 4, end)
+                        }
+                        CrashPhase::DuringGc => {
+                            let idx = ((s.fraction * erases.len() as f64) as usize)
+                                .min(erases.len().saturating_sub(1));
+                            let (start, end) = erases[idx];
+                            s.instant(start, end)
+                        }
+                    };
+                    let mut dev = make_dev(interval);
+                    let t0 = dev.load_weights(weights, SimTime::ZERO).unwrap();
+                    dev.ssd_mut().arm_power_loss(PowerLossConfig::at(tc));
+                    let mut at = t0;
+                    let mut failed = 0;
+                    for step in 1..=STEPS {
+                        match dev.run_step(Some(&grad(step)), at) {
+                            Ok(r) => at = r.end,
+                            Err(optimstore_core::CoreError::Ssd(SsdError::PowerLoss {
+                                ..
+                            })) => {
+                                failed = step;
+                                break;
+                            }
+                            Err(e) => panic!("unexpected error: {e}"),
+                        }
                     }
-                    Err(e) => panic!("unexpected error: {e}"),
-                }
-            }
-            assert!(failed > 0, "{}: armed crash never fired", s.name);
-            let crash_at = dev.ssd().power_failed_at().unwrap();
-            let journal_pages = dev.ssd().stats().journal_pages.get();
-            if matches!(s.phase, CrashPhase::DuringMount { .. }) {
-                // Double crash: kill the first mount partway through.
-                let m0 = crash_at + simkit::SimDuration::from_us(10);
-                dev.ssd_mut()
-                    .arm_power_loss(PowerLossConfig::at(m0 + simkit::SimDuration::from_us(50)));
-                assert!(dev.recover(Some(&grad(failed)), m0).is_err());
-            }
-            let mount_at = dev.ssd().power_failed_at().unwrap() + simkit::SimDuration::from_us(10);
-            let rec = dev.recover(Some(&grad(failed)), mount_at).unwrap();
-            let mut at = rec.end;
-            for step in (failed + 1)..=STEPS {
-                at = dev.run_step(Some(&grad(step)), at).unwrap().end;
-            }
-            let master = dev.read_master_weights(at).unwrap();
-            let exact = master
-                .iter()
-                .zip(&master_ref)
-                .all(|(a, b)| a.to_bits() == b.to_bits());
-            t.row(&[
-                interval.to_string(),
-                s.name.into(),
-                format!("step {failed}"),
-                journal_pages.to_string(),
-                rec.mount.pages_scanned.to_string(),
-                fmt_secs((rec.mount.window.end - rec.mount.window.start).as_secs_f64()),
-                fmt_secs((rec.end - crash_at).as_secs_f64()),
-                if exact { "yes".into() } else { "NO".into() },
-            ]);
+                    assert!(failed > 0, "{}: armed crash never fired", s.name);
+                    let crash_at = dev.ssd().power_failed_at().unwrap();
+                    let journal_pages = dev.ssd().stats().journal_pages.get();
+                    if matches!(s.phase, CrashPhase::DuringMount { .. }) {
+                        // Double crash: kill the first mount partway through.
+                        let m0 = crash_at + simkit::SimDuration::from_us(10);
+                        dev.ssd_mut().arm_power_loss(PowerLossConfig::at(
+                            m0 + simkit::SimDuration::from_us(50),
+                        ));
+                        assert!(dev.recover(Some(&grad(failed)), m0).is_err());
+                    }
+                    let mount_at =
+                        dev.ssd().power_failed_at().unwrap() + simkit::SimDuration::from_us(10);
+                    let rec = dev.recover(Some(&grad(failed)), mount_at).unwrap();
+                    let mut at = rec.end;
+                    for step in (failed + 1)..=STEPS {
+                        at = dev.run_step(Some(&grad(step)), at).unwrap().end;
+                    }
+                    let master = dev.read_master_weights(at).unwrap();
+                    let exact = master
+                        .iter()
+                        .zip(master_ref)
+                        .all(|(a, b)| a.to_bits() == b.to_bits());
+                    [
+                        interval.to_string(),
+                        s.name.into(),
+                        format!("step {failed}"),
+                        journal_pages.to_string(),
+                        rec.mount.pages_scanned.to_string(),
+                        fmt_secs((rec.mount.window.end - rec.mount.window.start).as_secs_f64()),
+                        fmt_secs((rec.end - crash_at).as_secs_f64()),
+                        if exact { "yes".into() } else { "NO".into() },
+                    ]
+                }) as Box<dyn FnOnce() -> [String; 8] + Send>
+            })
+            .collect();
+        for row in crate::runners::run_parallel(jobs) {
+            t.row(&row);
         }
     }
     t.print();
@@ -1277,7 +1324,12 @@ pub fn fig26_reliability_sweep(cap: u64) {
         "lost",
         "state traffic",
     ]);
-    for sched in aging_schedules(26) {
+    // Every cell trains its own fresh device against the shared fault-free
+    // reference, so the whole schedule x (parity, scrub) grid fans out on
+    // the data-plane pool; rows merge back in grid order.
+    let scheds: Vec<_> = aging_schedules(26).into_iter().collect();
+    let mut jobs: Vec<Box<dyn FnOnce() -> [String; 9] + Send>> = Vec::new();
+    for sched in &scheds {
         let aging = sched.aging_config(ceiling);
         let cells: [(bool, Option<ScrubConfig>, &str); 4] = [
             (false, None, "off"),
@@ -1286,90 +1338,101 @@ pub fn fig26_reliability_sweep(cap: u64) {
             (true, Some(ScrubConfig::per_step(512)), "512/step"),
         ];
         for (parity, scrub, scrub_name) in cells {
-            let mut ssd = SsdConfig::tiny();
-            if aging.is_active() {
-                ssd = ssd.with_aging(aging);
-            }
-            if parity {
-                ssd = ssd.with_rain(RainConfig::rotating());
-            }
-            if let Some(s) = scrub {
-                ssd = ssd.with_scrub(s);
-            }
-            let mut dev = make_dev(ssd);
-            let victims = pick_victims(&sched, dev.layout());
-            let hot: Vec<Lpn> = sched
-                .hot_pages(dev.layout().num_groups())
-                .iter()
-                .map(|&g| dev.layout().lpn(g, StateComponent::Weight16, 0))
-                .collect();
-            let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
-            let mut injected = 0u64;
-            let mut traffic = 0u64;
-            let mut failed_at: Option<u64> = None;
-            'run: for step in 1..=STEPS {
-                // The idle gap: hot re-reads (read disturb), then the
-                // gap's seeded losses, then the schedule's retention pause.
-                for lpn in &hot {
-                    for _ in 0..sched.hot_reads_per_step {
-                        match dev.ssd_mut().internal_read_array(*lpn, at) {
-                            Ok((w, _)) => at = w.end,
-                            Err(_) => {
-                                failed_at = Some(step);
-                                break 'run;
+            let weights = &weights;
+            let master_ref = &master_ref;
+            let grad = &grad;
+            let make_dev = &make_dev;
+            let pick_victims = &pick_victims;
+            jobs.push(Box::new(move || {
+                let mut ssd = SsdConfig::tiny();
+                if aging.is_active() {
+                    ssd = ssd.with_aging(aging);
+                }
+                if parity {
+                    ssd = ssd.with_rain(RainConfig::rotating());
+                }
+                if let Some(s) = scrub {
+                    ssd = ssd.with_scrub(s);
+                }
+                let mut dev = make_dev(ssd);
+                let victims = pick_victims(sched, dev.layout());
+                let hot: Vec<Lpn> = sched
+                    .hot_pages(dev.layout().num_groups())
+                    .iter()
+                    .map(|&g| dev.layout().lpn(g, StateComponent::Weight16, 0))
+                    .collect();
+                let mut at = dev.load_weights(weights, SimTime::ZERO).unwrap();
+                let mut injected = 0u64;
+                let mut traffic = 0u64;
+                let mut failed_at: Option<u64> = None;
+                'run: for step in 1..=STEPS {
+                    // The idle gap: hot re-reads (read disturb), then the
+                    // gap's seeded losses, then the schedule's retention
+                    // pause.
+                    for lpn in &hot {
+                        for _ in 0..sched.hot_reads_per_step {
+                            match dev.ssd_mut().internal_read_array(*lpn, at) {
+                                Ok((w, _)) => at = w.end,
+                                Err(_) => {
+                                    failed_at = Some(step);
+                                    break 'run;
+                                }
                             }
                         }
                     }
-                }
-                for lpn in &victims[(step - 1) as usize] {
-                    dev.ssd_mut().inject_page_loss(*lpn).unwrap();
-                    injected += 1;
-                }
-                at += sched.pause_between_steps;
-                match dev.run_step(Some(&grad(step)), at) {
-                    Ok(r) => {
-                        at = r.end;
-                        traffic += r.traffic.array_read + r.traffic.array_program;
+                    for lpn in &victims[(step - 1) as usize] {
+                        dev.ssd_mut().inject_page_loss(*lpn).unwrap();
+                        injected += 1;
                     }
-                    Err(_) => {
-                        failed_at = Some(step);
-                        break 'run;
-                    }
-                }
-            }
-            let outcome = match failed_at {
-                Some(step) => format!("LOST@step{step}"),
-                None => {
-                    let master = dev.read_master_weights(at).unwrap();
-                    let exact = master
-                        .iter()
-                        .zip(&master_ref)
-                        .all(|(a, b)| a.to_bits() == b.to_bits());
-                    if exact {
-                        "bit-exact".into()
-                    } else {
-                        "DRIFT".into()
+                    at += sched.pause_between_steps;
+                    match dev.run_step(Some(&grad(step)), at) {
+                        Ok(r) => {
+                            at = r.end;
+                            traffic += r.traffic.array_read + r.traffic.array_program;
+                        }
+                        Err(_) => {
+                            failed_at = Some(step);
+                            break 'run;
+                        }
                     }
                 }
-            };
-            let st = dev.ssd().stats();
-            t.row(&[
-                sched.name.into(),
-                if parity { "on" } else { "off" }.into(),
-                scrub_name.into(),
-                outcome,
-                injected.to_string(),
-                st.parity_reconstructions.get().to_string(),
-                format!(
-                    "{}/{}/{}",
-                    st.scrub_reads.get(),
-                    st.scrub_repairs.get(),
-                    st.scrub_refreshes.get()
-                ),
-                st.uncorrectable_reads.get().to_string(),
-                fmt_bytes(traffic),
-            ]);
+                let outcome = match failed_at {
+                    Some(step) => format!("LOST@step{step}"),
+                    None => {
+                        let master = dev.read_master_weights(at).unwrap();
+                        let exact = master
+                            .iter()
+                            .zip(master_ref)
+                            .all(|(a, b)| a.to_bits() == b.to_bits());
+                        if exact {
+                            "bit-exact".into()
+                        } else {
+                            "DRIFT".into()
+                        }
+                    }
+                };
+                let st = dev.ssd().stats();
+                [
+                    sched.name.into(),
+                    if parity { "on" } else { "off" }.into(),
+                    scrub_name.into(),
+                    outcome,
+                    injected.to_string(),
+                    st.parity_reconstructions.get().to_string(),
+                    format!(
+                        "{}/{}/{}",
+                        st.scrub_reads.get(),
+                        st.scrub_repairs.get(),
+                        st.scrub_refreshes.get()
+                    ),
+                    st.uncorrectable_reads.get().to_string(),
+                    fmt_bytes(traffic),
+                ]
+            }) as Box<dyn FnOnce() -> [String; 9] + Send>);
         }
+    }
+    for row in crate::runners::run_parallel(jobs) {
+        t.row(&row);
     }
     t.print();
     println!(

@@ -13,28 +13,26 @@ use simkit::{SimDuration, SimTime};
 use ssdsim::SsdConfig;
 use workloads::SlicedRun;
 
-/// Runs independent measurement jobs on worker threads, preserving input
-/// order. Each job builds its own device, so simulations share nothing and
-/// per-run determinism is unaffected — only harness wall-clock improves.
-pub fn run_parallel<T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send>>) -> Vec<T> {
-    let n = jobs.len();
-    let results: std::sync::Mutex<Vec<Option<T>>> =
-        std::sync::Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for (i, job) in jobs.into_iter().enumerate() {
-            let results = &results;
-            scope.spawn(move || {
-                let out = job();
-                results.lock().expect("result lock")[i] = Some(out);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("result lock")
+/// Runs independent measurement jobs on the data-plane worker pool
+/// ([`simkit::par`]), preserving input order. Each job builds its own
+/// device, so simulations share nothing and per-run determinism is
+/// unaffected — only harness wall-clock improves. Pool width follows
+/// `par::set_threads` / `OPTIMSTORE_THREADS` / available parallelism, so
+/// a grid of heavy sweeps no longer spawns one thread per cell.
+pub fn run_parallel<'scope, T: Send>(jobs: Vec<Box<dyn FnOnce() -> T + Send + 'scope>>) -> Vec<T> {
+    type Slot<'s, T> = std::sync::Mutex<Option<Box<dyn FnOnce() -> T + Send + 's>>>;
+    let slots: Vec<Slot<'scope, T>> = jobs
         .into_iter()
-        .map(|r| r.expect("every job ran"))
-        .collect()
+        .map(|j| std::sync::Mutex::new(Some(j)))
+        .collect();
+    simkit::par::map_indexed(&slots, |_, slot| {
+        let job = slot
+            .lock()
+            .expect("job slot")
+            .take()
+            .expect("each job runs exactly once");
+        job()
+    })
 }
 
 /// Default slice cap: 2²⁵ parameters (≈33 M) — hundreds of update groups

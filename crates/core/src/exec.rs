@@ -420,15 +420,37 @@ impl OptimStoreDevice {
         let mut skipped = 0u64;
         let mut groups_replayed = 0u64;
 
-        // Groups are processed in *batches* of one group per die, and each
-        // batch runs in two phases: (A) gradient delivery + operand reads +
-        // engine compute for every group of the batch, then (B) the batch's
-        // write-backs. Phase-batching keeps the issue order of operations on
-        // every shared resource (PCIe, DRAM, channel buses) consistent with
-        // their start times — interleaving a group's late write-backs before
-        // the next group's early reads would otherwise create false convoys
-        // under busy-until arbitration, something a real controller's
-        // command queue never suffers.
+        // Groups are processed in *batches* of one group per die. Each batch
+        // runs in four phases, split along the data-plane/timing-plane
+        // boundary (see `simkit::par`):
+        //
+        //   A0. **parallel** gradient prep — encode every group's gradient
+        //       page, count its non-zeros, scan for all-zero pages — pure
+        //       byte work on the worker pool, merged back in group order;
+        //   A1. **serial** timing — gradient delivery + operand reads +
+        //       engine occupancy for every group, in group order, exactly
+        //       as a controller's command queue would issue them;
+        //   A2. **parallel** kernels — `update_chunk` plus write-back page
+        //       assembly for every non-skipped group, again on the pool;
+        //   B.  **serial** write-backs for the batch.
+        //
+        // A0/A2 never touch a `Timeline`, and A1/B consume their results in
+        // input order, so the schedule of every shared resource (PCIe, DRAM,
+        // channel buses, planes, engines) is identical to the fully serial
+        // path: same seed ⇒ same bytes ⇒ same timings. Phase-batching (A
+        // before B) additionally keeps issue order consistent with start
+        // times — interleaving a group's late write-backs before the next
+        // group's early reads would otherwise create false convoys under
+        // busy-until arbitration.
+        struct GradPrep {
+            /// Dense encoded gradient page (functional mode only).
+            page: Option<Vec<u8>>,
+            /// Bytes the delivery stream actually moves (compression-aware).
+            wire_bytes: u64,
+            /// The gradient is all-zero (only computed under
+            /// `skip_zero_gradients`; the lazy-skip gate).
+            cold: bool,
+        }
         struct PendingWrite {
             g: u64,
             die_flat: u32,
@@ -436,7 +458,10 @@ impl OptimStoreDevice {
             /// Engine completion per sub-group (fp32 page-pair); identical
             /// entries under group-granular scheduling.
             compute_end: [SimTime; 2],
-            new_pages: Vec<(StateComponent, u32, Vec<u8>)>,
+            /// Operand pages as read (functional: real bytes).
+            read_pages: Vec<(StateComponent, u32, Option<Bytes>)>,
+            /// The streamed gradient page (input to the A2 kernel pass).
+            grad_page: Option<Vec<u8>>,
         }
         let batch = self.device.config().total_dies() as u64;
         let num_groups = self.layout.num_groups();
@@ -445,14 +470,10 @@ impl OptimStoreDevice {
             let batch_end = (batch_start + batch).min(num_groups);
             let mut pending: Vec<PendingWrite> = Vec::with_capacity(batch as usize);
 
-            // ---- phase A: grads, reads, compute ------------------------
-            for g in batch_start..batch_end {
+            // ---- phase A0: gradient prep (parallel data plane) ---------
+            let prep_one = |g: u64| -> GradPrep {
                 let group = self.layout.group(g);
-                let die_flat = group.die_flat;
-                let channel = die_flat / self.device.config().dies_per_channel;
-
-                // ---- gradient delivery ---------------------------------
-                let grad_page: Option<Vec<u8>> = if functional {
+                let page: Option<Vec<u8>> = if functional {
                     let grads = grads.unwrap();
                     let start = group.param_start as usize;
                     let count = group.param_count as usize;
@@ -463,12 +484,12 @@ impl OptimStoreDevice {
                     None
                 };
                 // Compressed gradients shrink the delivery stream: only the
-                // selected (index, value) pairs cross PCIe/DRAM/bus; the engine
-                // scatters them into a dense page in its buffer.
-                let grad_wire_bytes: u64 = match self.cfg.grad_topk_permille {
+                // selected (index, value) pairs cross PCIe/DRAM/bus; the
+                // engine scatters them into a dense page in its buffer.
+                let wire_bytes: u64 = match self.cfg.grad_topk_permille {
                     None => pb as u64,
                     Some(permille) => {
-                        let nnz = match &grad_page {
+                        let nnz = match &page {
                             Some(page) => page
                                 .chunks_exact(2)
                                 .filter(|c| c[0] != 0 || c[1] != 0)
@@ -487,6 +508,35 @@ impl OptimStoreDevice {
                             + optim_math::compress::SPARSE_ENTRY_BYTES * nnz
                     }
                 };
+                let cold = self.cfg.skip_zero_gradients
+                    && match (&page, self.phantom_hot_groups) {
+                        (Some(page), _) => page.iter().all(|&b| b == 0),
+                        (None, Some(hot)) => g >= hot,
+                        (None, None) => false,
+                    };
+                GradPrep {
+                    page,
+                    wire_bytes,
+                    cold,
+                }
+            };
+            let batch_groups: Vec<u64> = (batch_start..batch_end).collect();
+            let mut preps: Vec<GradPrep> = if functional {
+                simkit::par::map_indexed(&batch_groups, |_, &g| prep_one(g))
+            } else {
+                // Phantom prep is a handful of integer ops — not worth a
+                // trip through the pool.
+                batch_groups.iter().map(|&g| prep_one(g)).collect()
+            };
+
+            // ---- phase A1: grads, reads, engine timing (serial) --------
+            for (prep_idx, &g) in batch_groups.iter().enumerate() {
+                let group = self.layout.group(g);
+                let die_flat = group.die_flat;
+                let channel = die_flat / self.device.config().dies_per_channel;
+                let prep = &mut preps[prep_idx];
+                let grad_page = prep.page.take();
+                let grad_wire_bytes = prep.wire_bytes;
                 let pcie = self.device.pcie_in_mut().transfer(at, grad_wire_bytes);
                 // Store-and-forward through controller DRAM (write + read).
                 let dram_in = self.device.dram_mut().transfer(pcie.end, grad_wire_bytes);
@@ -520,22 +570,13 @@ impl OptimStoreDevice {
                     ExecutionTier::ChannelNdp => channel as usize,
                     ExecutionTier::HostNvme => unreachable!(),
                 };
-                if self.cfg.skip_zero_gradients {
-                    let cold = match (&grad_page, self.phantom_hot_groups) {
-                        (Some(page), _) => page.iter().all(|&b| b == 0),
-                        (None, Some(hot)) => g >= hot,
-                        (None, None) => false,
-                    };
-                    if cold {
-                        let scan = simkit::SimDuration::for_transfer(
-                            pb as u64,
-                            self.cfg.engine.bytes_per_sec,
-                        );
-                        let w = self.engines[engine_idx].acquire(grad_ready, scan);
-                        step_end = step_end.max(w.end);
-                        skipped += 1;
-                        continue;
-                    }
+                if prep.cold {
+                    let scan =
+                        simkit::SimDuration::for_transfer(pb as u64, self.cfg.engine.bytes_per_sec);
+                    let w = self.engines[engine_idx].acquire(grad_ready, scan);
+                    step_end = step_end.max(w.end);
+                    skipped += 1;
+                    continue;
                 }
 
                 // ---- operand reads (with bounded group replay) -------------
@@ -584,11 +625,30 @@ impl OptimStoreDevice {
                     [whole.end, whole.end]
                 };
 
-                // ---- functional update -------------------------------------
-                let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
-                if functional {
+                let _ = ppg;
+                pending.push(PendingWrite {
+                    g,
+                    die_flat,
+                    channel,
+                    compute_end: compute_ends,
+                    read_pages,
+                    grad_page,
+                });
+            }
+
+            // ---- phase A2: optimizer kernels + write-back page assembly
+            //      (parallel data plane) ---------------------------------
+            // Each pending group's update depends only on its own operand
+            // pages and gradient — the paper's element-wise independence
+            // argument — so the kernels fan out on the pool and merge back
+            // in group order before any write-back is issued.
+            let new_pages_by_group: Vec<Vec<(StateComponent, u32, Vec<u8>)>> = if functional {
+                let optimizer = self.optimizer.as_ref();
+                let layout = &self.layout;
+                let cmd = &cmd;
+                simkit::par::map_indexed(&pending, |_, p| {
                     let find = |comp: StateComponent, idx: u32| -> &Bytes {
-                        read_pages
+                        p.read_pages
                             .iter()
                             .find(|(c, i, _)| *c == comp && *i == idx)
                             .and_then(|(_, _, d)| d.as_ref())
@@ -597,7 +657,7 @@ impl OptimStoreDevice {
                     let mut w32 = Vec::with_capacity(2 * pb);
                     w32.extend_from_slice(find(StateComponent::Master, 0));
                     w32.extend_from_slice(find(StateComponent::Master, 1));
-                    let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
+                    let mut slot_bufs: Vec<Vec<u8>> = (0..layout.slots())
                         .map(|s| {
                             let mut b = Vec::with_capacity(2 * pb);
                             b.extend_from_slice(find(StateComponent::Slot(s), 0));
@@ -605,24 +665,26 @@ impl OptimStoreDevice {
                             b
                         })
                         .collect();
-                    let grad_bytes: Vec<u8> = if self.layout.grad_staged() {
-                        find(StateComponent::Grad, 0).to_vec()
+                    let grad_bytes: &[u8] = if layout.grad_staged() {
+                        find(StateComponent::Grad, 0)
                     } else {
-                        grad_page.clone().expect("streamed grads present")
+                        p.grad_page.as_deref().expect("streamed grads present")
                     };
                     let mut w16 = vec![0u8; pb];
                     let mut slot_refs: Vec<&mut [u8]> =
                         slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
                     update_chunk(
-                        self.optimizer.as_ref(),
+                        optimizer,
                         &mut w32,
                         &mut slot_refs,
-                        &grad_bytes,
+                        grad_bytes,
                         &mut w16,
                         cmd.grad_dtype,
                         cmd.step,
                     )
                     .expect("layout-derived buffers are consistent");
+                    let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> =
+                        Vec::with_capacity(3 + 2 * slot_bufs.len());
                     new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
                     new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
                     for (s, buf) in slot_bufs.iter().enumerate() {
@@ -630,27 +692,21 @@ impl OptimStoreDevice {
                         new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
                     }
                     new_pages.push((StateComponent::Weight16, 0, w16));
-                    let _ = ppg;
-                }
-
-                pending.push(PendingWrite {
-                    g,
-                    die_flat,
-                    channel,
-                    compute_end: compute_ends,
-                    new_pages,
-                });
-            }
+                    new_pages
+                })
+            } else {
+                pending.iter().map(|_| Vec::new()).collect()
+            };
 
             // ---- phase B: write-backs for the batch --------------------
-            for p in &pending {
+            for (p, new_pages) in pending.iter().zip(&new_pages_by_group) {
                 let _ = p.die_flat;
                 for (comp, idx) in self.layout.write_set() {
                     let lpn = self.layout.lpn(p.g, comp, idx);
                     let local = self.layout.is_local(p.g, comp, idx);
                     let data: Option<&[u8]> = if functional {
                         Some(
-                            p.new_pages
+                            new_pages
                                 .iter()
                                 .find(|(c, i, _)| *c == comp && *i == idx)
                                 .map(|(_, _, d)| d.as_slice())

@@ -45,17 +45,31 @@ impl SparseGrad {
             "tensor too large for u32 indices"
         );
         let k = ((dense.len() as f64 * fraction).ceil() as usize).min(dense.len());
-        // Partial selection: indices of the k largest |g|.
+        // Partial selection: indices of the k largest |g|, under a *total*
+        // order — `select_nth_unstable_by` requires one, and the obvious
+        // `partial_cmp(..).unwrap_or(Equal)` is inconsistent when a
+        // gradient is NaN (NaN ties with everything while other pairs
+        // order strictly), yielding an arbitrary partition. NaN sorts
+        // after every number (so it never displaces a real gradient; a
+        // plain `total_cmp` on `|g|` would rank NaN *first* descending),
+        // magnitude ties break by index, and whatever NaN still lands in
+        // the selection — only possible when there are fewer than `k`
+        // finite entries — is dropped: a NaN "gradient" carries no
+        // magnitude information and must not enter the sparse set.
         let mut order: Vec<u32> = (0..dense.len() as u32).collect();
         if k < dense.len() {
             order.select_nth_unstable_by(k, |&a, &b| {
-                dense[b as usize]
-                    .abs()
-                    .partial_cmp(&dense[a as usize].abs())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                let (va, vb) = (dense[a as usize], dense[b as usize]);
+                match (va.is_nan(), vb.is_nan()) {
+                    (true, true) => a.cmp(&b),
+                    (true, false) => std::cmp::Ordering::Greater,
+                    (false, true) => std::cmp::Ordering::Less,
+                    (false, false) => vb.abs().total_cmp(&va.abs()).then_with(|| a.cmp(&b)),
+                }
             });
             order.truncate(k);
         }
+        order.retain(|&i| !dense[i as usize].is_nan());
         order.sort_unstable();
         let values = order.iter().map(|&i| dense[i as usize]).collect();
         SparseGrad {
@@ -248,5 +262,45 @@ mod tests {
     #[should_panic(expected = "fraction")]
     fn zero_fraction_panics() {
         let _ = SparseGrad::top_k(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn top_k_is_deterministic_and_nan_excluded() {
+        // NaN, signed zeros, and tied magnitudes together: the selection
+        // must be a deterministic, NaN-free set no matter how the
+        // partition could have tie-broken.
+        let dense = [
+            f32::NAN,
+            2.0,
+            -2.0, // ties |2.0|; index 1 must win the last slot over index 2
+            0.5,
+            -0.0,
+            0.0,
+            f32::NAN,
+            1.0,
+        ];
+        let s = SparseGrad::top_k(&dense, 3.0 / 8.0);
+        assert_eq!(s.indices(), &[1, 2, 7], "largest magnitudes, NaN excluded");
+        for _ in 0..8 {
+            assert_eq!(SparseGrad::top_k(&dense, 3.0 / 8.0), s, "deterministic");
+        }
+
+        // Tied magnitudes at the selection boundary resolve by index.
+        let tied = [1.0f32, -1.0, 1.0, -1.0, 1.0];
+        let s = SparseGrad::top_k(&tied, 2.0 / 5.0);
+        assert_eq!(s.indices(), &[0, 1]);
+
+        // All-NaN input: nothing survives selection.
+        let poisoned = [f32::NAN; 4];
+        let s = SparseGrad::top_k(&poisoned, 0.5);
+        assert_eq!(s.nnz(), 0);
+        assert_eq!(s.to_dense(), vec![0.0; 4]);
+
+        // Signed zeros are a magnitude tie, not an ordering hazard: with
+        // more slots than non-zero entries, the zeros picked are the
+        // lowest-indexed ones.
+        let zeros = [0.0f32, -0.0, 3.0, -0.0, 0.0];
+        let s = SparseGrad::top_k(&zeros, 3.0 / 5.0);
+        assert_eq!(s.indices(), &[0, 1, 2]);
     }
 }

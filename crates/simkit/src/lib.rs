@@ -15,6 +15,9 @@
 //!   windows.
 //! * [`stats`] — counters, histograms, and time-weighted utilization
 //!   trackers used for every report the simulators produce.
+//! * [`par`] — the deterministic parallel *data plane*: a scoped worker
+//!   pool whose [`par::map_indexed`] returns results in input order, so
+//!   byte-level work parallelizes while the timing plane stays serial.
 //!
 //! The kernel deliberately avoids global state and interior mutability:
 //! simulations own their clocks and resources, which keeps multi-device
@@ -45,6 +48,7 @@ mod event;
 mod resource;
 mod time;
 
+pub mod par;
 pub mod stats;
 
 pub use event::{EventQueue, ScheduledEvent};

@@ -190,6 +190,11 @@ pub struct ScrubReport {
     /// Pages whose loss could not be repaired (double losses); the device
     /// keeps sweeping but the data is gone.
     pub unrecovered: u64,
+    /// Pages the parallel integrity pre-scan flagged *before* the timed
+    /// patrol ran: deterministically unreadable (torn/corrupted) or already
+    /// past the refresh threshold at sweep start. Reporting only — the
+    /// timed patrol is byte- and timing-identical with or without it.
+    pub suspect: u64,
 }
 
 impl Device {
@@ -659,51 +664,80 @@ impl Device {
         // committed pages there, and reads still work). Dies scan in
         // parallel from the end of replay; a page costs a sense only when
         // the journal does not already cover it exactly.
+        // Per-die inspection is pure reads of settled flash state, so the
+        // dies fan out on the data-plane pool (`simkit::par`) and merge back
+        // in die order; the timing plane below — crash checks, trace — then
+        // consumes the merged results serially, so mount timing and crash
+        // behaviour are bit-exact with a serial scan.
+        struct DieScan {
+            candidates: Vec<(u32, u64, PageOob, Ppa)>,
+            charged: u64,
+            torn: u64,
+            no_oob: u64,
+        }
+        let die_scans: Vec<DieScan> = {
+            let this = &*self;
+            let journal_map = &journal_map;
+            let dies: Vec<u32> = (0..this.config.total_dies()).collect();
+            simkit::par::map_indexed(&dies, |_, &die_flat| {
+                let die_id = DieId::from_flat(die_flat, this.config.dies_per_channel);
+                let die = this.die(die_id);
+                let mut scan = DieScan {
+                    candidates: Vec::new(),
+                    charged: 0,
+                    torn: 0,
+                    no_oob: 0,
+                };
+                for (bflat, b) in die.iter_blocks() {
+                    let addr = geo.block_at(bflat);
+                    if this.is_journal_block(die_flat, addr) {
+                        continue;
+                    }
+                    for pidx in 0..geo.pages_per_block {
+                        if b.page_state(pidx) == nandsim::store::PageState::Free {
+                            continue;
+                        }
+                        let page = addr.page(pidx);
+                        if die.is_torn(page) {
+                            scan.torn += 1;
+                            scan.charged += 1;
+                            continue;
+                        }
+                        let Some(oob) = die.oob(page) else {
+                            scan.no_oob += 1;
+                            scan.charged += 1;
+                            continue;
+                        };
+                        let idx = geo.page_index(page);
+                        if journal_map.get(&(die_flat, idx)) != Some(&oob) {
+                            scan.charged += 1;
+                        }
+                        scan.candidates
+                            .push((die_flat, idx, oob, Ppa { die: die_id, page }));
+                    }
+                }
+                scan
+            })
+        };
         let mut candidates: Vec<(u32, u64, PageOob, Ppa)> = Vec::new();
         let mut torn = 0u64;
         let mut no_oob = 0u64;
         let mut scanned = 0u64;
         let mut scan_end = replay_end;
-        for die_flat in 0..self.config.total_dies() {
-            let die_id = DieId::from_flat(die_flat, self.config.dies_per_channel);
-            let mut charged = 0u64;
-            let die = self.die(die_id);
-            for (bflat, b) in die.iter_blocks() {
-                let addr = geo.block_at(bflat);
-                if self.is_journal_block(die_flat, addr) {
-                    continue;
-                }
-                for pidx in 0..geo.pages_per_block {
-                    if b.page_state(pidx) == nandsim::store::PageState::Free {
-                        continue;
-                    }
-                    let page = addr.page(pidx);
-                    if die.is_torn(page) {
-                        torn += 1;
-                        charged += 1;
-                        continue;
-                    }
-                    let Some(oob) = die.oob(page) else {
-                        no_oob += 1;
-                        charged += 1;
-                        continue;
-                    };
-                    let idx = geo.page_index(page);
-                    if journal_map.get(&(die_flat, idx)) != Some(&oob) {
-                        charged += 1;
-                    }
-                    candidates.push((die_flat, idx, oob, Ppa { die: die_id, page }));
-                }
-            }
-            scanned += charged;
-            let cursor = replay_end + t_scan.saturating_mul(charged);
+        for (die_flat, scan) in die_scans.into_iter().enumerate() {
+            let die_id = DieId::from_flat(die_flat as u32, self.config.dies_per_channel);
+            torn += scan.torn;
+            no_oob += scan.no_oob;
+            scanned += scan.charged;
+            candidates.extend(scan.candidates);
+            let cursor = replay_end + t_scan.saturating_mul(scan.charged);
             if let Some(tc) = pending_crash {
                 if cursor > tc {
                     self.dead = Some(tc);
                     return Err(SsdError::PowerLoss { at: tc });
                 }
             }
-            if charged > 0 {
+            if scan.charged > 0 {
                 self.trace_op(
                     OpKind::MountScan,
                     None,
@@ -1322,6 +1356,43 @@ impl Device {
         self.check_alive()?;
         let total = self.config.addressable_pages();
         let mut report = ScrubReport::default();
+
+        // The tick's candidate set — the exact pages the timed sweep below
+        // will visit (mapped-ness is stable mid-sweep: repairs and refreshes
+        // re-home a page's physical copy but never unmap its LPN) — walked
+        // here without advancing the persistent cursor.
+        let mut candidates: Vec<Ppa> = Vec::new();
+        {
+            let mut cursor = self.scrub_cursor;
+            let mut walked = 0u64;
+            while candidates.len() < scrub.pages_per_tick as usize && walked < total {
+                let lpn = Lpn(cursor);
+                cursor = (cursor + 1) % total;
+                walked += 1;
+                if let Some(ppa) = self.ftl.lookup(lpn) {
+                    candidates.push(ppa);
+                }
+            }
+        }
+        // Parallel page-verification pre-scan (data plane, `simkit::par`):
+        // flag candidates that are deterministically unreadable (torn or
+        // corrupted media) or whose aged RBER already sits past the refresh
+        // threshold at sweep start. Pure `&self` inspection — no sense, no
+        // RNG draw, no timeline — so the timed patrol below stays bit-exact
+        // with a serial run; the flags surface as reporting.
+        {
+            let this = &*self;
+            let flagged = simkit::par::map_indexed(&candidates, |_, ppa| {
+                let die = this.die(ppa.die);
+                if die.is_torn(ppa.page) {
+                    return true;
+                }
+                let rber = die.effective_rber(ppa.page.block_addr(), at).unwrap_or(0.0);
+                rber >= scrub.refresh_fraction * die.rber_model().ecc_ceiling
+            });
+            report.suspect = flagged.into_iter().filter(|&s| s).count() as u64;
+        }
+
         let mut t = at;
         let mut examined = 0u64;
         while report.pages_read < scrub.pages_per_tick as u64 && examined < total {

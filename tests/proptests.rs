@@ -289,12 +289,17 @@ proptest! {
         use optimstore::optim_math::OptimizerKind;
         use optimstore_bench::runners::run_ndp;
 
-        let ssd = SsdConfig {
+        let mut ssd = SsdConfig {
             channels: 1 << channels_pow,
             dies_per_channel: 1 << dies_pow,
             pcie: PciGen::Custom(pcie_gbps * 1_000_000_000),
             ..SsdConfig::base()
         };
+        // Same smoke-geometry trick as tests/timing_sanity.rs: device
+        // construction scales with blocks x pages and dominated this
+        // property's wall-clock, while the 2^21-param slice occupies well
+        // under 1% of either block count — audit agreement is unaffected.
+        ssd.nand.geometry.blocks_per_plane = 64;
         let m = run_ndp(
             &ssd,
             &OptimStoreConfig::die_ndp(),
@@ -665,5 +670,106 @@ proptest! {
             );
         }
         prop_assert_eq!(dev.stats().uncorrectable_reads.get(), 0);
+    }
+}
+
+// ——— Parallel data-plane determinism ———
+
+use optimstore::simkit::par;
+use optimstore_bench::runners::optimizer_and_spec;
+
+const PAR_PARAMS: u64 = 3_000;
+const PAR_STEPS: u64 = 2;
+
+/// One functional training run at the *current* pool width: the final
+/// master weights plus the `Debug` rendering of every `StepReport` (which
+/// covers every timing, traffic, energy, and maintenance counter the
+/// executor emits — any divergence shows up as a string mismatch).
+fn par_run(seed: u64, kind: OptimizerKind) -> (Vec<f32>, Vec<String>) {
+    let (optimizer, spec) = optimizer_and_spec(kind);
+    let mut dev = OptimStoreDevice::new_functional(
+        SsdConfig::tiny(),
+        OptimStoreConfig::die_ndp(),
+        PAR_PARAMS,
+        optimizer,
+        spec,
+    )
+    .unwrap();
+    let weights = WeightInit {
+        seed,
+        ..WeightInit::default()
+    }
+    .generate(PAR_PARAMS as usize);
+    let mut at = dev.load_weights(&weights, SimTime::ZERO).unwrap();
+    let grads = GradientGen::new(seed ^ 0xD1CE_0000);
+    let mut reports = Vec::new();
+    for step in 1..=PAR_STEPS {
+        let report = dev
+            .run_step(Some(&grads.generate(step, PAR_PARAMS as usize)), at)
+            .unwrap();
+        at = report.end;
+        reports.push(format!("{report:?}"));
+    }
+    (dev.read_master_weights(at).unwrap(), reports)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The worker pool is invisible in the results: for arbitrary seeds
+    /// and any optimizer, a functional run with the pool forced serial
+    /// and one at width 4 produce bit-identical master weights and
+    /// field-identical `StepReport`s. This is the determinism contract
+    /// the data-plane/timing-plane split rests on.
+    #[test]
+    fn parallel_functional_run_is_bit_identical_to_serial(
+        seed in any::<u64>(),
+        kind_idx in 0usize..8,
+    ) {
+        let kinds = OptimizerKind::all();
+        let kind = kinds[kind_idx % kinds.len()];
+
+        par::set_threads(1);
+        let (serial_w, serial_reports) = par_run(seed, kind);
+        par::set_threads(4);
+        let (parallel_w, parallel_reports) = par_run(seed, kind);
+        par::set_threads(0);
+
+        prop_assert_eq!(serial_reports, parallel_reports,
+            "StepReport diverged under {:?} with seed {:#x}", kind, seed);
+        prop_assert_eq!(serial_w.len(), parallel_w.len());
+        for (i, (a, b)) in serial_w.iter().zip(&parallel_w).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(),
+                "master weight {} diverged under {:?} with seed {:#x}", i, kind, seed);
+        }
+    }
+
+    /// `par::map_indexed` returns results in *input* order no matter how
+    /// completion order is scrambled: each item sleeps so that earlier
+    /// items finish later (plus a seeded jitter), across pool widths.
+    #[test]
+    fn map_indexed_preserves_order_under_adversarial_delays(
+        n in 0usize..48,
+        seed in any::<u64>(),
+        width in 1usize..6,
+    ) {
+        let items: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(seed | 1)).collect();
+        par::set_threads(width);
+        let got = par::map_indexed(&items, |i, &x| {
+            // Inverted schedule: item 0 sleeps longest, the last item not
+            // at all, so naive completion-order collection would reverse.
+            let jitter = seed.rotate_left(i as u32) % 200;
+            std::thread::sleep(std::time::Duration::from_micros(
+                (n - i) as u64 * 100 + jitter,
+            ));
+            x.wrapping_mul(31).wrapping_add(i as u64)
+        });
+        par::set_threads(0);
+        let want: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x.wrapping_mul(31).wrapping_add(i as u64))
+            .collect();
+        prop_assert_eq!(got, want);
     }
 }

@@ -1,6 +1,16 @@
 //! Timing sanity across crates: the relationships the paper's argument
 //! rests on must hold in the event simulation, not just the analytic
 //! audit.
+//!
+//! The default profile keeps the full 2²²-parameter simulated slice (the
+//! timing relationships need its steady-state depth) but shrinks every
+//! die's *block count*: device construction, which dominated this suite's
+//! wall-clock at the real part geometry (≈85 s), scales with blocks ×
+//! pages, while steady-state step timing does not — the slice occupies
+//! well under 1% of either geometry, so placement and GC behave
+//! identically. CI's matrix additionally runs the real geometry by
+//! setting `TIMING_SANITY_PROFILE=full` (the same env-parameterization
+//! pattern as `tests/crash_consistency.rs`).
 
 use optimstore::baselines::HostNvmeConfig;
 use optimstore::optim_math::OptimizerKind;
@@ -9,31 +19,52 @@ use optimstore::ssdsim::{PciGen, SsdConfig};
 use optimstore_bench::runners::{run_host_nvme, run_ndp};
 
 const MODEL: u64 = 1_000_000_000; // 1 B params
-const CAP: u64 = 1 << 22;
+
+/// Simulated-slice cap: `TIMING_SANITY_CAP` env override, else 2²².
+fn cap() -> u64 {
+    std::env::var("TIMING_SANITY_CAP")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(1 << 22)
+}
+
+/// Applies the suite's geometry profile: the smoke default keeps 64
+/// blocks per plane (≈20x cheaper construction); `TIMING_SANITY_PROFILE=full`
+/// restores the real part geometry.
+fn profiled(mut ssd: SsdConfig) -> SsdConfig {
+    let full = std::env::var("TIMING_SANITY_PROFILE")
+        .map(|v| v.trim() == "full")
+        .unwrap_or(false);
+    if !full {
+        ssd.nand.geometry.blocks_per_plane = 64;
+    }
+    ssd
+}
 
 #[test]
 fn tier_ordering_holds_in_simulation() {
-    let ssd = SsdConfig::base();
+    let ssd = profiled(SsdConfig::base());
     let host = run_host_nvme(
         &ssd,
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let ch = run_ndp(
         &ssd,
         &OptimStoreConfig::channel_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let die = run_ndp(
         &ssd,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     assert!(
         die.step_time < ch.step_time && ch.step_time < host.step_time,
@@ -49,21 +80,21 @@ fn tier_ordering_holds_in_simulation() {
 
 #[test]
 fn more_dies_make_die_ndp_faster_not_host() {
-    let small = SsdConfig::small();
-    let base = SsdConfig::base();
+    let small = profiled(SsdConfig::small());
+    let base = profiled(SsdConfig::base());
     let die_small = run_ndp(
         &small,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let die_base = run_ndp(
         &base,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     // 16 → 64 dies: near-linear internal scaling.
     let scale = die_small.step_time.as_secs_f64() / die_base.step_time.as_secs_f64();
@@ -77,14 +108,14 @@ fn more_dies_make_die_ndp_faster_not_host() {
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let host_base = run_host_nvme(
         &base,
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let host_scale = host_small.step_time.as_secs_f64() / host_base.step_time.as_secs_f64();
     assert!(
@@ -95,9 +126,9 @@ fn more_dies_make_die_ndp_faster_not_host() {
 
 #[test]
 fn host_improves_with_pcie_but_die_ndp_does_not_care() {
-    let mut gen3 = SsdConfig::base();
+    let mut gen3 = profiled(SsdConfig::base());
     gen3.pcie = PciGen::Custom(2_000_000_000);
-    let mut gen5 = SsdConfig::base();
+    let mut gen5 = profiled(SsdConfig::base());
     gen5.pcie = PciGen::Custom(16_000_000_000);
 
     let host3 = run_host_nvme(
@@ -105,14 +136,14 @@ fn host_improves_with_pcie_but_die_ndp_does_not_care() {
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let host5 = run_host_nvme(
         &gen5,
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     assert!(
         host5.step_time.as_secs_f64() < host3.step_time.as_secs_f64() * 0.8,
@@ -126,14 +157,14 @@ fn host_improves_with_pcie_but_die_ndp_does_not_care() {
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let die5 = run_ndp(
         &gen5,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let change = (die3.step_time.as_secs_f64() - die5.step_time.as_secs_f64()).abs()
         / die5.step_time.as_secs_f64();
@@ -146,13 +177,13 @@ fn host_improves_with_pcie_but_die_ndp_does_not_care() {
 
 #[test]
 fn traffic_accounting_matches_state_arithmetic() {
-    let ssd = SsdConfig::base();
+    let ssd = profiled(SsdConfig::base());
     let die = run_ndp(
         &ssd,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     // Adam: 12 B/param read, 14 B/param written, 2 B/param of gradient in.
     // Page padding inflates by < 1% at this scale.
@@ -168,7 +199,7 @@ fn traffic_accounting_matches_state_arithmetic() {
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     assert!((per_param(host.traffic.pcie_out) - 14.0).abs() / 14.0 < tol);
     assert!((per_param(host.traffic.pcie_in) - 14.0).abs() / 14.0 < tol);
@@ -176,27 +207,27 @@ fn traffic_accounting_matches_state_arithmetic() {
 
 #[test]
 fn energy_hierarchy_holds() {
-    let ssd = SsdConfig::base();
+    let ssd = profiled(SsdConfig::base());
     let die = run_ndp(
         &ssd,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let ch = run_ndp(
         &ssd,
         &OptimStoreConfig::channel_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let host = run_host_nvme(
         &ssd,
         &HostNvmeConfig::default(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     assert!(die.energy.total() < ch.energy.total());
     assert!(ch.energy.total() < host.energy.total());
@@ -206,20 +237,20 @@ fn energy_hierarchy_holds() {
 
 #[test]
 fn simulation_is_deterministic() {
-    let ssd = SsdConfig::base();
+    let ssd = profiled(SsdConfig::base());
     let a = run_ndp(
         &ssd,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     let b = run_ndp(
         &ssd,
         &OptimStoreConfig::die_ndp(),
         OptimizerKind::Adam,
         MODEL,
-        CAP,
+        cap(),
     );
     assert_eq!(a.step_time, b.step_time);
     assert_eq!(a.traffic, b.traffic);
