@@ -15,12 +15,14 @@
 //! are bit-exact against the in-storage engine — the comparison is purely
 //! about time, traffic and energy.
 
-use optim_math::kernels::{encode_grads, update_chunk};
+use optim_math::kernels::encode_grads_into;
 use optim_math::state::StateLayoutSpec;
 use optim_math::{Optimizer, F16};
 use optimstore_core::energy::{ActivityCounts, EnergyModel};
+use optimstore_core::pages::UpdatePages;
 use optimstore_core::report::TrafficBytes;
 use optimstore_core::{CoreError, LayoutPolicy, StateComponent, StateLayout, StepReport};
+use simkit::pool::PageBuf;
 use simkit::{SimDuration, SimTime, Timeline};
 use ssdsim::{Device, SsdConfig};
 
@@ -228,11 +230,11 @@ impl HostNvmeBaseline {
         let mut end = at;
         for g in 0..self.layout.num_groups() {
             let group = self.layout.group(g);
-            let data: Option<Vec<u8>> = grads.map(|gr| {
+            let data: Option<PageBuf> = grads.map(|gr| {
                 let start = group.param_start as usize;
                 let count = group.param_count as usize;
-                let mut page = encode_grads(&gr[start..start + count], self.spec.grad_dtype);
-                page.resize(pb, 0);
+                let mut page = PageBuf::zeroed(pb);
+                encode_grads_into(&gr[start..start + count], self.spec.grad_dtype, &mut page);
                 page
             });
             let lpn = self.layout.lpn(g, StateComponent::Grad, 0);
@@ -260,7 +262,9 @@ impl HostNvmeBaseline {
         struct PendingWrite {
             g: u64,
             host_end: SimTime,
-            new_pages: Vec<(StateComponent, u32, Vec<u8>)>,
+            /// Kernel output buffers (functional mode only) — write-back
+            /// slices these in place.
+            update: Option<UpdatePages>,
         }
         let batch = self.device.config().total_dies() as u64;
         let num_groups = self.layout.num_groups();
@@ -289,53 +293,31 @@ impl HostNvmeBaseline {
                 let host = self.host.acquire(host_start, service);
 
                 // ---- functional update --------------------------------------
-                let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> = Vec::new();
-                if functional {
-                    let find = |comp: StateComponent, idx: u32| -> &bytes::Bytes {
-                        pages
-                            .iter()
-                            .find(|(c, i, _)| *c == comp && *i == idx)
-                            .and_then(|(_, _, d)| d.as_ref())
-                            .expect("functional read returns data")
-                    };
-                    let mut w32 = Vec::with_capacity(2 * pb);
-                    w32.extend_from_slice(find(StateComponent::Master, 0));
-                    w32.extend_from_slice(find(StateComponent::Master, 1));
-                    let mut slot_bufs: Vec<Vec<u8>> = (0..self.layout.slots())
-                        .map(|s| {
-                            let mut b = Vec::with_capacity(2 * pb);
-                            b.extend_from_slice(find(StateComponent::Slot(s), 0));
-                            b.extend_from_slice(find(StateComponent::Slot(s), 1));
-                            b
-                        })
-                        .collect();
-                    let grad_bytes = find(StateComponent::Grad, 0).to_vec();
-                    let mut w16 = vec![0u8; pb];
-                    let mut slot_refs: Vec<&mut [u8]> =
-                        slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                    update_chunk(
+                let update: Option<UpdatePages> = if functional {
+                    let mut up = UpdatePages::gather(pb, self.layout.slots(), &pages);
+                    // The gradient page feeds the kernel straight from the
+                    // read buffer — no staging copy.
+                    let grad_bytes: &[u8] = pages
+                        .iter()
+                        .find(|(c, i, _)| *c == StateComponent::Grad && *i == 0)
+                        .and_then(|(_, _, d)| d.as_deref())
+                        .expect("functional read returns data");
+                    up.apply(
                         self.optimizer.as_ref(),
-                        &mut w32,
-                        &mut slot_refs,
-                        &grad_bytes,
-                        &mut w16,
+                        grad_bytes,
                         self.spec.grad_dtype,
                         self.step,
                     )
                     .expect("layout-derived buffers are consistent");
-                    new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
-                    new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
-                    for (s, buf) in slot_bufs.iter().enumerate() {
-                        new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
-                        new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
-                    }
-                    new_pages.push((StateComponent::Weight16, 0, w16));
-                }
+                    Some(up)
+                } else {
+                    None
+                };
 
                 pending.push(PendingWrite {
                     g,
                     host_end: host.end,
-                    new_pages,
+                    update,
                 });
             }
 
@@ -343,17 +325,7 @@ impl HostNvmeBaseline {
             for p in &pending {
                 for (comp, idx) in self.layout.write_set() {
                     let lpn = self.layout.lpn(p.g, comp, idx);
-                    let data: Option<&[u8]> = if functional {
-                        Some(
-                            p.new_pages
-                                .iter()
-                                .find(|(c, i, _)| *c == comp && *i == idx)
-                                .map(|(_, _, d)| d.as_slice())
-                                .expect("every written page was produced"),
-                        )
-                    } else {
-                        None
-                    };
+                    let data: Option<&[u8]> = p.update.as_ref().map(|up| up.page(comp, idx));
                     let win = self.device.host_write_page(lpn, data, p.host_end)?;
                     step_end = step_end.max(win.end);
                 }

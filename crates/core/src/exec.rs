@@ -15,12 +15,14 @@
 use crate::config::{ExecutionTier, GradStaging, OptimStoreConfig};
 use crate::energy::{ActivityCounts, EnergyModel};
 use crate::layout::{StateComponent, StateLayout};
+use crate::pages::UpdatePages;
 use crate::protocol::UpdateCommand;
 use crate::report::{RecoveryReport, StepReport, TrafficBytes};
 use bytes::Bytes;
-use optim_math::kernels::{encode_grads, update_chunk};
+use optim_math::kernels::encode_grads_into;
 use optim_math::state::StateLayoutSpec;
 use optim_math::{Optimizer, F16};
+use simkit::pool::PageBuf;
 use simkit::{SimTime, Timeline};
 use ssdsim::{Device, SsdConfig, SsdError};
 use std::error::Error;
@@ -444,7 +446,7 @@ impl OptimStoreDevice {
         // busy-until arbitration.
         struct GradPrep {
             /// Dense encoded gradient page (functional mode only).
-            page: Option<Vec<u8>>,
+            page: Option<PageBuf>,
             /// Bytes the delivery stream actually moves (compression-aware).
             wire_bytes: u64,
             /// The gradient is all-zero (only computed under
@@ -461,7 +463,7 @@ impl OptimStoreDevice {
             /// Operand pages as read (functional: real bytes).
             read_pages: Vec<(StateComponent, u32, Option<Bytes>)>,
             /// The streamed gradient page (input to the A2 kernel pass).
-            grad_page: Option<Vec<u8>>,
+            grad_page: Option<PageBuf>,
         }
         let batch = self.device.config().total_dies() as u64;
         let num_groups = self.layout.num_groups();
@@ -473,12 +475,16 @@ impl OptimStoreDevice {
             // ---- phase A0: gradient prep (parallel data plane) ---------
             let prep_one = |g: u64| -> GradPrep {
                 let group = self.layout.group(g);
-                let page: Option<Vec<u8>> = if functional {
+                let page: Option<PageBuf> = if functional {
                     let grads = grads.unwrap();
                     let start = group.param_start as usize;
                     let count = group.param_count as usize;
-                    let mut page = encode_grads(&grads[start..start + count], self.spec.grad_dtype);
-                    page.resize(pb, 0);
+                    let mut page = PageBuf::zeroed(pb);
+                    encode_grads_into(
+                        &grads[start..start + count],
+                        self.spec.grad_dtype,
+                        &mut page,
+                    );
                     Some(page)
                 } else {
                     None
@@ -642,79 +648,38 @@ impl OptimStoreDevice {
             // pages and gradient — the paper's element-wise independence
             // argument — so the kernels fan out on the pool and merge back
             // in group order before any write-back is issued.
-            let new_pages_by_group: Vec<Vec<(StateComponent, u32, Vec<u8>)>> = if functional {
+            let updates_by_group: Vec<Option<UpdatePages>> = if functional {
                 let optimizer = self.optimizer.as_ref();
                 let layout = &self.layout;
                 let cmd = &cmd;
                 simkit::par::map_indexed(&pending, |_, p| {
-                    let find = |comp: StateComponent, idx: u32| -> &Bytes {
+                    let mut up = UpdatePages::gather(pb, layout.slots(), &p.read_pages);
+                    let grad_bytes: &[u8] = if layout.grad_staged() {
                         p.read_pages
                             .iter()
-                            .find(|(c, i, _)| *c == comp && *i == idx)
-                            .and_then(|(_, _, d)| d.as_ref())
+                            .find(|(c, i, _)| *c == StateComponent::Grad && *i == 0)
+                            .and_then(|(_, _, d)| d.as_deref())
                             .expect("functional read returns data")
-                    };
-                    let mut w32 = Vec::with_capacity(2 * pb);
-                    w32.extend_from_slice(find(StateComponent::Master, 0));
-                    w32.extend_from_slice(find(StateComponent::Master, 1));
-                    let mut slot_bufs: Vec<Vec<u8>> = (0..layout.slots())
-                        .map(|s| {
-                            let mut b = Vec::with_capacity(2 * pb);
-                            b.extend_from_slice(find(StateComponent::Slot(s), 0));
-                            b.extend_from_slice(find(StateComponent::Slot(s), 1));
-                            b
-                        })
-                        .collect();
-                    let grad_bytes: &[u8] = if layout.grad_staged() {
-                        find(StateComponent::Grad, 0)
                     } else {
                         p.grad_page.as_deref().expect("streamed grads present")
                     };
-                    let mut w16 = vec![0u8; pb];
-                    let mut slot_refs: Vec<&mut [u8]> =
-                        slot_bufs.iter_mut().map(|b| b.as_mut_slice()).collect();
-                    update_chunk(
-                        optimizer,
-                        &mut w32,
-                        &mut slot_refs,
-                        grad_bytes,
-                        &mut w16,
-                        cmd.grad_dtype,
-                        cmd.step,
-                    )
-                    .expect("layout-derived buffers are consistent");
-                    let mut new_pages: Vec<(StateComponent, u32, Vec<u8>)> =
-                        Vec::with_capacity(3 + 2 * slot_bufs.len());
-                    new_pages.push((StateComponent::Master, 0, w32[..pb].to_vec()));
-                    new_pages.push((StateComponent::Master, 1, w32[pb..].to_vec()));
-                    for (s, buf) in slot_bufs.iter().enumerate() {
-                        new_pages.push((StateComponent::Slot(s as u8), 0, buf[..pb].to_vec()));
-                        new_pages.push((StateComponent::Slot(s as u8), 1, buf[pb..].to_vec()));
-                    }
-                    new_pages.push((StateComponent::Weight16, 0, w16));
-                    new_pages
+                    up.apply(optimizer, grad_bytes, cmd.grad_dtype, cmd.step)
+                        .expect("layout-derived buffers are consistent");
+                    Some(up)
                 })
             } else {
-                pending.iter().map(|_| Vec::new()).collect()
+                pending.iter().map(|_| None).collect()
             };
 
             // ---- phase B: write-backs for the batch --------------------
-            for (p, new_pages) in pending.iter().zip(&new_pages_by_group) {
+            for (p, up) in pending.iter().zip(&updates_by_group) {
                 let _ = p.die_flat;
                 for (comp, idx) in self.layout.write_set() {
                     let lpn = self.layout.lpn(p.g, comp, idx);
                     let local = self.layout.is_local(p.g, comp, idx);
-                    let data: Option<&[u8]> = if functional {
-                        Some(
-                            new_pages
-                                .iter()
-                                .find(|(c, i, _)| *c == comp && *i == idx)
-                                .map(|(_, _, d)| d.as_slice())
-                                .expect("every written page was produced"),
-                        )
-                    } else {
-                        None
-                    };
+                    // Write-back slices the joined kernel buffers in place —
+                    // `up` is populated exactly when the device is functional.
+                    let data: Option<&[u8]> = up.as_ref().map(|up| up.page(comp, idx));
                     // The 16-bit weight page spans both sub-groups; fp32
                     // pages belong to their own sub-group.
                     let ready = match comp {
@@ -995,7 +960,7 @@ impl OptimStoreDevice {
 mod tests {
     use super::*;
     use crate::config::LayoutPolicy;
-    use optim_math::kernels::StateBuffers;
+    use optim_math::kernels::{encode_grads, StateBuffers};
     use optim_math::state::GradDtype;
     use optim_math::{Adam, OptimizerKind};
 

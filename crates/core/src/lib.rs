@@ -53,6 +53,7 @@
 mod config;
 mod exec;
 mod layout;
+pub mod pages;
 
 pub mod report;
 

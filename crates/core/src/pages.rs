@@ -1,0 +1,182 @@
+//! Pooled operand-page assembly for the optimizer kernel pass.
+//!
+//! Both the in-storage executor ([`crate::OptimStoreDevice`]) and the
+//! host-NVMe baseline run the same functional inner loop per update group:
+//! join the group's master/slot page pairs into contiguous kernel buffers,
+//! run [`optim_math::kernels::update_chunk`], then write each half back to
+//! its own page. [`UpdatePages`] is that loop's working set, built on
+//! [`simkit::pool::PageBuf`] so the steady-state step path checks buffers
+//! out of the pool instead of allocating — and write-back slices the joined
+//! buffers in place instead of splitting them into per-page copies.
+
+use crate::layout::StateComponent;
+use bytes::Bytes;
+use optim_math::kernels::{update_chunk, KernelError};
+use optim_math::state::GradDtype;
+use optim_math::Optimizer;
+use simkit::pool::PageBuf;
+
+/// The kernel working set for one update group: joined fp32 master pages,
+/// joined per-slot pages, and the 16-bit working-weight output page — all
+/// pool-recycled.
+#[derive(Debug)]
+pub struct UpdatePages {
+    /// Joined master-weight pages (`2 * page_bytes`, fp32).
+    w32: PageBuf,
+    /// One joined buffer per auxiliary slot (`2 * page_bytes` each).
+    slots: Vec<PageBuf>,
+    /// 16-bit working-weight output page (`page_bytes`).
+    w16: PageBuf,
+    /// Device page size the buffers are sliced by.
+    pb: usize,
+}
+
+impl UpdatePages {
+    /// Gathers a group's operand pages (as returned by the read phase) into
+    /// pooled kernel buffers. `read_pages` must contain data for
+    /// `(Master, 0..2)` and `(Slot(s), 0..2)` for every `s < nslots`.
+    pub fn gather(
+        pb: usize,
+        nslots: u8,
+        read_pages: &[(StateComponent, u32, Option<Bytes>)],
+    ) -> Self {
+        let find = |comp: StateComponent, idx: u32| -> &[u8] {
+            read_pages
+                .iter()
+                .find(|(c, i, _)| *c == comp && *i == idx)
+                .and_then(|(_, _, d)| d.as_deref())
+                .expect("functional read returns data")
+        };
+        let mut w32 = PageBuf::zeroed(2 * pb);
+        w32[..pb].copy_from_slice(find(StateComponent::Master, 0));
+        w32[pb..].copy_from_slice(find(StateComponent::Master, 1));
+        let slots = (0..nslots)
+            .map(|s| {
+                let mut buf = PageBuf::zeroed(2 * pb);
+                buf[..pb].copy_from_slice(find(StateComponent::Slot(s), 0));
+                buf[pb..].copy_from_slice(find(StateComponent::Slot(s), 1));
+                buf
+            })
+            .collect();
+        UpdatePages {
+            w32,
+            slots,
+            w16: PageBuf::zeroed(pb),
+            pb,
+        }
+    }
+
+    /// Runs one optimizer step over the gathered buffers in place.
+    pub fn apply(
+        &mut self,
+        opt: &dyn Optimizer,
+        grads: &[u8],
+        dtype: GradDtype,
+        step: u64,
+    ) -> Result<usize, KernelError> {
+        let mut slot_refs: Vec<&mut [u8]> = self.slots.iter_mut().map(|b| &mut b[..]).collect();
+        update_chunk(
+            opt,
+            &mut self.w32,
+            &mut slot_refs,
+            grads,
+            &mut self.w16,
+            dtype,
+            step,
+        )
+    }
+
+    /// The updated bytes for one write-back page, sliced from the joined
+    /// buffers (no copy). `idx` selects the fp32 page half; `Weight16` has
+    /// a single page.
+    pub fn page(&self, comp: StateComponent, idx: u32) -> &[u8] {
+        let pb = self.pb;
+        fn half(buf: &[u8], pb: usize, idx: u32) -> &[u8] {
+            match idx {
+                0 => &buf[..pb],
+                1 => &buf[pb..],
+                _ => panic!("fp32 components have two pages, got index {idx}"),
+            }
+        }
+        match comp {
+            StateComponent::Master => half(&self.w32, pb, idx),
+            StateComponent::Slot(s) => half(&self.slots[s as usize], pb, idx),
+            StateComponent::Weight16 => &self.w16,
+            StateComponent::Grad => panic!("gradient pages are inputs, not write-backs"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optim_math::kernels::{encode_grads, StateBuffers};
+    use optim_math::Adam;
+
+    fn bytes_of(v: Vec<u8>) -> Bytes {
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn gather_apply_page_round_trip_matches_state_buffers() {
+        let pb = 64; // 16 params per page half, 32 per group
+        let n = pb / 2;
+        let adam = Adam::default();
+        let weights: Vec<f32> = (0..n).map(|i| (i as f32) * 0.1 - 0.7).collect();
+        let grads_f: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.3).sin()).collect();
+        let grads = encode_grads(&grads_f, GradDtype::F16);
+
+        // Reference: the owned-buffer kernel state.
+        let mut reference = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        reference.step(&adam, &grads, GradDtype::F16, 1).unwrap();
+
+        // Pooled path: the same state presented as read pages.
+        let init = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        let read_pages = vec![
+            (
+                StateComponent::Master,
+                0,
+                Some(bytes_of(init.w32[..pb].to_vec())),
+            ),
+            (
+                StateComponent::Master,
+                1,
+                Some(bytes_of(init.w32[pb..].to_vec())),
+            ),
+            (
+                StateComponent::Slot(0),
+                0,
+                Some(bytes_of(init.slots[0][..pb].to_vec())),
+            ),
+            (
+                StateComponent::Slot(0),
+                1,
+                Some(bytes_of(init.slots[0][pb..].to_vec())),
+            ),
+            (
+                StateComponent::Slot(1),
+                0,
+                Some(bytes_of(init.slots[1][..pb].to_vec())),
+            ),
+            (
+                StateComponent::Slot(1),
+                1,
+                Some(bytes_of(init.slots[1][pb..].to_vec())),
+            ),
+        ];
+        let mut up = UpdatePages::gather(pb, 2, &read_pages);
+        up.apply(&adam, &grads, GradDtype::F16, 1).unwrap();
+
+        assert_eq!(up.page(StateComponent::Master, 0), &reference.w32[..pb]);
+        assert_eq!(up.page(StateComponent::Master, 1), &reference.w32[pb..]);
+        assert_eq!(
+            up.page(StateComponent::Slot(0), 0),
+            &reference.slots[0][..pb]
+        );
+        assert_eq!(
+            up.page(StateComponent::Slot(1), 1),
+            &reference.slots[1][pb..]
+        );
+        assert_eq!(up.page(StateComponent::Weight16, 0), &reference.w16[..]);
+    }
+}

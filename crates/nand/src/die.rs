@@ -3,7 +3,7 @@
 
 use crate::error::NandError;
 use crate::fault::{FaultConfig, FaultInjector, FaultStats};
-use crate::geometry::{BlockAddr, PhysPage};
+use crate::geometry::{BlockAddr, NandGeometry, PhysPage};
 use crate::power::PageOob;
 use crate::store::{new_block_table, Backing, BlockState, PageState};
 use crate::timing::NandConfig;
@@ -11,7 +11,7 @@ use crate::wear::{read_retries, AgingConfig, RberModel};
 use bytes::Bytes;
 use simkit::stats::Counter;
 use simkit::{SimTime, Timeline, Window};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// Operation counters for one die.
 #[derive(Debug, Clone, Default)]
@@ -57,10 +57,53 @@ pub struct Die {
     /// Flat indices of torn pages (program in flight at the crash): marked
     /// programmed but every read fails until the block is erased.
     torn: HashSet<u64>,
-    /// Out-of-band stamps by flat page index. A programmed page without a
+    /// Out-of-band stamps, slab per block. A programmed page without a
     /// stamp (torn, or written before OOB stamping existed) is untrusted
     /// by mount recovery.
-    oob: HashMap<u64, PageOob>,
+    oob: OobTable,
+}
+
+/// Dense per-block OOB store: one lazily allocated slab of
+/// `pages_per_block` stamp slots per erase block, indexed by the die's
+/// flat block index. Mirrors the FTL's chunked L2P — geometries with
+/// terabytes of phantom capacity pay only for blocks that hold stamped
+/// pages — while lookups and the whole-block clear on erase are plain
+/// array operations instead of per-page hash traffic.
+#[derive(Debug)]
+struct OobTable {
+    blocks: Vec<Option<Box<[Option<PageOob>]>>>,
+    pages_per_block: u64,
+}
+
+impl OobTable {
+    fn new(geo: &NandGeometry) -> Self {
+        OobTable {
+            blocks: (0..geo.blocks_per_die()).map(|_| None).collect(),
+            pages_per_block: geo.pages_per_block as u64,
+        }
+    }
+
+    /// Stamps the page at flat index `idx` (as produced by
+    /// [`NandGeometry::page_index`]).
+    fn set(&mut self, idx: u64, oob: PageOob) {
+        let ppb = self.pages_per_block;
+        let slab = self.blocks[(idx / ppb) as usize]
+            .get_or_insert_with(|| vec![None; ppb as usize].into_boxed_slice());
+        slab[(idx % ppb) as usize] = Some(oob);
+    }
+
+    fn get(&self, idx: u64) -> Option<PageOob> {
+        let ppb = self.pages_per_block;
+        self.blocks[(idx / ppb) as usize]
+            .as_ref()
+            .and_then(|slab| slab[(idx % ppb) as usize])
+    }
+
+    /// Drops every stamp in the block with flat index `block_idx` (as
+    /// produced by [`NandGeometry::block_index`]).
+    fn clear_block(&mut self, block_idx: u64) {
+        self.blocks[block_idx as usize] = None;
+    }
 }
 
 impl Die {
@@ -91,7 +134,7 @@ impl Die {
             aging: None,
             power: None,
             torn: HashSet::new(),
-            oob: HashMap::new(),
+            oob: OobTable::new(&config.geometry),
         }
     }
 
@@ -188,7 +231,7 @@ impl Die {
     /// immediately after a successful program; a crash between the two is
     /// not observable because both happen within the program window).
     pub fn put_oob(&mut self, p: PhysPage, oob: PageOob) {
-        self.oob.insert(self.config.geometry.page_index(p), oob);
+        self.oob.set(self.config.geometry.page_index(p), oob);
     }
 
     /// The OOB stamp of page `p`, if it has a trustworthy one. Torn pages
@@ -198,7 +241,7 @@ impl Die {
         if self.torn.contains(&idx) {
             return None;
         }
-        self.oob.get(&idx).copied()
+        self.oob.get(idx)
     }
 
     /// Die identifier (assigned by the channel that owns it).
@@ -463,8 +506,9 @@ impl Die {
             let idx = geo.page_index(b.page(page));
             self.backing.remove(idx);
             self.torn.remove(&idx);
-            self.oob.remove(&idx);
         }
+        // One slab drop clears every stamp in the block.
+        self.oob.clear_block(block_idx as u64);
         if self.blocks[block_idx].erase_count() >= self.config.cell.rated_pe_cycles() {
             self.blocks[block_idx].retire();
         }

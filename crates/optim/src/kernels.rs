@@ -5,13 +5,33 @@
 //! little-endian bytes — exactly what sits in a NAND page — so the same
 //! kernel runs against flash page contents and against host staging
 //! buffers, guaranteeing bit-identical results.
+//!
+//! Two implementations exist, bit-identical by construction and by test:
+//!
+//! * [`update_chunk_scalar`] — the reference loop: one `&dyn Optimizer`
+//!   virtual call per element, per-element byte decode/encode.
+//! * [`update_chunk_batched`] — the hot path: monomorphized over a concrete
+//!   optimizer, it decodes a cache-sized block of elements into scratch
+//!   `f32` arrays, runs the (inlined) update rule over the block, and
+//!   re-encodes. Per element the arithmetic is the *same operations in the
+//!   same order* as the scalar loop — elements are independent, so blocking
+//!   only changes how bytes move, never the float sequence — which is what
+//!   keeps the two paths bit-exact.
+//!
+//! [`update_chunk`] is the entry point every caller uses: it dispatches the
+//! `&dyn Optimizer` to the batched kernel via a per-kind match
+//! (reconstructing the concrete rule from [`Optimizer::hyper_wire`], the
+//! same bits the IST-UPDATE command carries), so the executor and the
+//! baselines get the fast path without any signature change.
 
 use crate::bf16::Bf16;
 use crate::f16::F16;
-use crate::optimizer::Optimizer;
+use crate::hyper::{AdamParams, MomentumParams};
+use crate::optimizer::{Adagrad, Adam, AdamW, Lion, Optimizer, OptimizerKind, SgdMomentum};
 use crate::state::GradDtype;
 use std::error::Error;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// A malformed kernel invocation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +40,16 @@ pub enum KernelError {
     LengthMismatch {
         /// Which buffer.
         buffer: &'static str,
+        /// Bytes supplied.
+        got: usize,
+        /// Bytes required.
+        want: usize,
+    },
+    /// One auxiliary slot buffer's length is not what the element count
+    /// requires.
+    SlotLengthMismatch {
+        /// Index of the malformed slot buffer (optimizer slot order).
+        slot: usize,
         /// Bytes supplied.
         got: usize,
         /// Bytes required.
@@ -40,6 +70,9 @@ impl fmt::Display for KernelError {
             KernelError::LengthMismatch { buffer, got, want } => {
                 write!(f, "buffer `{buffer}` is {got} bytes, expected {want}")
             }
+            KernelError::SlotLengthMismatch { slot, got, want } => {
+                write!(f, "slot buffer {slot} is {got} bytes, expected {want}")
+            }
             KernelError::SlotCountMismatch { got, want } => {
                 write!(f, "{got} slot buffers supplied, optimizer needs {want}")
             }
@@ -48,6 +81,69 @@ impl fmt::Display for KernelError {
 }
 
 impl Error for KernelError {}
+
+/// When set, [`update_chunk`] runs the scalar reference loop instead of
+/// dispatching to the batched kernel. Benches use this to time (and
+/// cross-check) both paths through the *same* end-to-end call graph.
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Forces (or releases) the scalar reference path in [`update_chunk`].
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::Relaxed);
+}
+
+/// True if [`update_chunk`] is currently pinned to the scalar reference.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Shared argument validation; returns the element count.
+fn validate(
+    want_slots: usize,
+    w32: &[u8],
+    slots: &[&mut [u8]],
+    grads: &[u8],
+    w16_out: &[u8],
+) -> Result<usize, KernelError> {
+    if !w32.len().is_multiple_of(4) {
+        return Err(KernelError::LengthMismatch {
+            buffer: "w32",
+            got: w32.len(),
+            want: w32.len() / 4 * 4,
+        });
+    }
+    let n = w32.len() / 4;
+    if slots.len() != want_slots {
+        return Err(KernelError::SlotCountMismatch {
+            got: slots.len(),
+            want: want_slots,
+        });
+    }
+    for (i, s) in slots.iter().enumerate() {
+        if s.len() != 4 * n {
+            return Err(KernelError::SlotLengthMismatch {
+                slot: i,
+                got: s.len(),
+                want: 4 * n,
+            });
+        }
+    }
+    if grads.len() != 2 * n {
+        return Err(KernelError::LengthMismatch {
+            buffer: "grads",
+            got: grads.len(),
+            want: 2 * n,
+        });
+    }
+    if w16_out.len() != 2 * n {
+        return Err(KernelError::LengthMismatch {
+            buffer: "w16_out",
+            got: w16_out.len(),
+            want: 2 * n,
+        });
+    }
+    Ok(n)
+}
 
 /// Widens one 16-bit gradient element to f32.
 #[inline]
@@ -113,47 +209,92 @@ pub fn update_chunk(
     grad_dtype: GradDtype,
     step: u64,
 ) -> Result<usize, KernelError> {
-    if !w32.len().is_multiple_of(4) {
-        return Err(KernelError::LengthMismatch {
-            buffer: "w32",
-            got: w32.len(),
-            want: w32.len() / 4 * 4,
-        });
+    if force_scalar() {
+        return update_chunk_scalar(opt, w32, slots, grads, w16_out, grad_dtype, step);
     }
-    let n = w32.len() / 4;
-    let want_slots = opt.state_slots();
-    if slots.len() != want_slots {
-        return Err(KernelError::SlotCountMismatch {
-            got: slots.len(),
-            want: want_slots,
-        });
+    // Reconstruct the concrete rule from the wire hyperparameters — the
+    // exact bits `hyper_wire` reports, so the monomorphized body computes
+    // with the same constants the virtual call would. An external
+    // `Optimizer` impl whose `update_scalar` deviates from the built-in
+    // rule of its `kind()` must call `update_chunk_scalar` directly.
+    let h = opt.hyper_wire();
+    let adam = AdamParams {
+        lr: h[0],
+        beta1: h[1],
+        beta2: h[2],
+        eps: h[3],
+        weight_decay: h[4],
+    };
+    let mom = MomentumParams {
+        lr: h[0],
+        momentum: h[1],
+        eps: h[3],
+    };
+    match opt.kind() {
+        OptimizerKind::Adam => update_chunk_batched(
+            &Adam::new(adam),
+            w32,
+            slots,
+            grads,
+            w16_out,
+            grad_dtype,
+            step,
+        ),
+        OptimizerKind::AdamW => update_chunk_batched(
+            &AdamW::new(adam),
+            w32,
+            slots,
+            grads,
+            w16_out,
+            grad_dtype,
+            step,
+        ),
+        OptimizerKind::SgdMomentum => update_chunk_batched(
+            &SgdMomentum::new(mom),
+            w32,
+            slots,
+            grads,
+            w16_out,
+            grad_dtype,
+            step,
+        ),
+        OptimizerKind::Adagrad => update_chunk_batched(
+            &Adagrad::new(mom),
+            w32,
+            slots,
+            grads,
+            w16_out,
+            grad_dtype,
+            step,
+        ),
+        OptimizerKind::Lion => update_chunk_batched(
+            &Lion::new(adam),
+            w32,
+            slots,
+            grads,
+            w16_out,
+            grad_dtype,
+            step,
+        ),
     }
-    for (i, s) in slots.iter().enumerate() {
-        if s.len() != 4 * n {
-            let _ = i;
-            return Err(KernelError::LengthMismatch {
-                buffer: "slot",
-                got: s.len(),
-                want: 4 * n,
-            });
-        }
-    }
-    if grads.len() != 2 * n {
-        return Err(KernelError::LengthMismatch {
-            buffer: "grads",
-            got: grads.len(),
-            want: 2 * n,
-        });
-    }
-    if w16_out.len() != 2 * n {
-        return Err(KernelError::LengthMismatch {
-            buffer: "w16_out",
-            got: w16_out.len(),
-            want: 2 * n,
-        });
-    }
+}
 
-    let mut slot_vals = [0.0f32; 4]; // more than any optimizer uses
+/// The scalar reference implementation of [`update_chunk`]: one virtual
+/// call and one byte decode/encode per element. Kept as the oracle the
+/// batched kernel is benchmarked and property-tested against.
+pub fn update_chunk_scalar(
+    opt: &dyn Optimizer,
+    w32: &mut [u8],
+    slots: &mut [&mut [u8]],
+    grads: &[u8],
+    w16_out: &mut [u8],
+    grad_dtype: GradDtype,
+    step: u64,
+) -> Result<usize, KernelError> {
+    let want_slots = opt.state_slots();
+    let n = validate(want_slots, w32, slots, grads, w16_out)?;
+
+    let mut slot_vals = [0.0f32; MAX_SLOTS]; // more than any optimizer uses
     for i in 0..n {
         let wi = 4 * i;
         let gi = 2 * i;
@@ -168,6 +309,113 @@ pub fn update_chunk(
             s[wi..wi + 4].copy_from_slice(&slot_vals[k].to_le_bytes());
         }
         w16_out[gi..gi + 2].copy_from_slice(&narrow(grad_dtype, new_w));
+    }
+    Ok(n)
+}
+
+/// Elements per batched block. 256 elements keep the whole scratch set
+/// (weights + gradients + up to [`MAX_SLOTS`] slot lanes) around 6 KiB —
+/// comfortably L1-resident.
+pub const BATCH_BLOCK: usize = 256;
+
+/// Upper bound on auxiliary slots any supported optimizer keeps.
+const MAX_SLOTS: usize = 4;
+
+/// The monomorphized batch kernel behind [`update_chunk`].
+///
+/// Decodes up to [`BATCH_BLOCK`] elements of `w32`/`slots`/`grads` into
+/// stack scratch arrays, applies `opt`'s (statically dispatched, inlined)
+/// update rule across the block, and re-encodes. Accepts the same buffers
+/// as [`update_chunk_scalar`] and produces bit-identical results: the
+/// per-element float operations and their order are unchanged; only the
+/// byte movement is blocked.
+pub fn update_chunk_batched<O: Optimizer>(
+    opt: &O,
+    w32: &mut [u8],
+    slots: &mut [&mut [u8]],
+    grads: &[u8],
+    w16_out: &mut [u8],
+    grad_dtype: GradDtype,
+    step: u64,
+) -> Result<usize, KernelError> {
+    let k = opt.state_slots();
+    let n = validate(k, w32, slots, grads, w16_out)?;
+
+    let mut wf = [0.0f32; BATCH_BLOCK];
+    let mut gf = [0.0f32; BATCH_BLOCK];
+    let mut sf = [[0.0f32; BATCH_BLOCK]; MAX_SLOTS];
+    let mut base = 0usize;
+    while base < n {
+        let len = (n - base).min(BATCH_BLOCK);
+        // Decode the block: masters, slot lanes, widened gradients.
+        for (dst, src) in wf[..len]
+            .iter_mut()
+            .zip(w32[4 * base..4 * (base + len)].chunks_exact(4))
+        {
+            *dst = f32::from_le_bytes(src.try_into().unwrap());
+        }
+        for (lane, sbuf) in sf.iter_mut().zip(slots.iter()) {
+            for (dst, src) in lane[..len]
+                .iter_mut()
+                .zip(sbuf[4 * base..4 * (base + len)].chunks_exact(4))
+            {
+                *dst = f32::from_le_bytes(src.try_into().unwrap());
+            }
+        }
+        let gb = &grads[2 * base..2 * (base + len)];
+        match grad_dtype {
+            GradDtype::F16 => {
+                for (dst, src) in gf[..len].iter_mut().zip(gb.chunks_exact(2)) {
+                    *dst = F16::from_le_bytes(src.try_into().unwrap()).to_f32();
+                }
+            }
+            GradDtype::Bf16 => {
+                for (dst, src) in gf[..len].iter_mut().zip(gb.chunks_exact(2)) {
+                    *dst = Bf16::from_le_bytes(src.try_into().unwrap()).to_f32();
+                }
+            }
+        }
+        // The update sweep: statically dispatched, so the rule inlines and
+        // the per-element loop is a straight-line float kernel.
+        let mut sv = [0.0f32; MAX_SLOTS];
+        for i in 0..len {
+            for (v, lane) in sv[..k].iter_mut().zip(sf.iter()) {
+                *v = lane[i];
+            }
+            wf[i] = opt.update_scalar(wf[i], &mut sv[..k], gf[i], step);
+            for (v, lane) in sv[..k].iter().zip(sf.iter_mut()) {
+                lane[i] = *v;
+            }
+        }
+        // Re-encode the block.
+        for (src, dst) in wf[..len]
+            .iter()
+            .zip(w32[4 * base..4 * (base + len)].chunks_exact_mut(4))
+        {
+            dst.copy_from_slice(&src.to_le_bytes());
+        }
+        for (lane, sbuf) in sf.iter().zip(slots.iter_mut()) {
+            for (src, dst) in lane[..len]
+                .iter()
+                .zip(sbuf[4 * base..4 * (base + len)].chunks_exact_mut(4))
+            {
+                dst.copy_from_slice(&src.to_le_bytes());
+            }
+        }
+        let wo = &mut w16_out[2 * base..2 * (base + len)];
+        match grad_dtype {
+            GradDtype::F16 => {
+                for (src, dst) in wf[..len].iter().zip(wo.chunks_exact_mut(2)) {
+                    dst.copy_from_slice(&F16::from_f32(*src).to_le_bytes());
+                }
+            }
+            GradDtype::Bf16 => {
+                for (src, dst) in wf[..len].iter().zip(wo.chunks_exact_mut(2)) {
+                    dst.copy_from_slice(&Bf16::from_f32(*src).to_le_bytes());
+                }
+            }
+        }
+        base += len;
     }
     Ok(n)
 }
@@ -240,6 +488,23 @@ impl StateBuffers {
 /// Encodes a slice of f32 gradients into raw 16-bit bytes.
 pub fn encode_grads(grads: &[f32], dtype: GradDtype) -> Vec<u8> {
     grads.iter().flat_map(|&g| narrow(dtype, g)).collect()
+}
+
+/// Encodes f32 gradients into a caller-supplied byte buffer (2 B/element).
+///
+/// The allocation-free sibling of [`encode_grads`] for pooled page buffers;
+/// `out` must be at least `2 * grads.len()` bytes — excess bytes are left
+/// untouched.
+pub fn encode_grads_into(grads: &[f32], dtype: GradDtype, out: &mut [u8]) {
+    assert!(
+        out.len() >= 2 * grads.len(),
+        "grad output buffer too small: {} bytes for {} elements",
+        out.len(),
+        grads.len()
+    );
+    for (g, dst) in grads.iter().zip(out.chunks_exact_mut(2)) {
+        dst.copy_from_slice(&narrow(dtype, *g));
+    }
 }
 
 #[cfg(test)]
@@ -352,10 +617,14 @@ mod tests {
             1,
         )
         .unwrap_err();
-        assert!(matches!(
+        assert_eq!(
             err,
-            KernelError::LengthMismatch { buffer: "slot", .. }
-        ));
+            KernelError::SlotLengthMismatch {
+                slot: 0,
+                got: 12,
+                want: 16
+            }
+        );
 
         let mut m = vec![0u8; 16];
         let bad_grads = vec![0u8; 6];
@@ -405,6 +674,147 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slot_length_error_reports_the_right_slot() {
+        let adam = Adam::default();
+        let mut w32 = vec![0u8; 16]; // 4 params
+        let mut m = vec![0u8; 16]; // fine
+        let mut v = vec![0u8; 20]; // wrong, slot index 1
+        let grads = vec![0u8; 8];
+        let mut w16 = vec![0u8; 8];
+        let err = update_chunk(
+            &adam,
+            &mut w32,
+            &mut [&mut m, &mut v],
+            &grads,
+            &mut w16,
+            GradDtype::F16,
+            1,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            KernelError::SlotLengthMismatch {
+                slot: 1,
+                got: 20,
+                want: 16
+            }
+        );
+        assert_eq!(err.to_string(), "slot buffer 1 is 20 bytes, expected 16");
+    }
+
+    /// Runs `steps` optimizer steps over `n` elements twice — batched
+    /// dispatch and scalar reference — and asserts every output buffer is
+    /// byte-identical.
+    fn assert_batched_matches_scalar(opt: &dyn Optimizer, n: usize, dtype: GradDtype, steps: u64) {
+        let weights: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.37).sin() * 2.0).collect();
+        let grad_f32: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.11).cos() * 0.3).collect();
+        let grads = encode_grads(&grad_f32, dtype);
+
+        let mut fast = StateBuffers::init(opt, &weights, dtype);
+        let mut slow = StateBuffers::init(opt, &weights, dtype);
+        for step in 1..=steps {
+            fast.step(opt, &grads, dtype, step).unwrap();
+            let mut slot_refs: Vec<&mut [u8]> =
+                slow.slots.iter_mut().map(|s| s.as_mut_slice()).collect();
+            update_chunk_scalar(
+                opt,
+                &mut slow.w32,
+                &mut slot_refs,
+                &grads,
+                &mut slow.w16,
+                dtype,
+                step,
+            )
+            .unwrap();
+        }
+        assert_eq!(fast.w32, slow.w32, "{:?} w32 diverged", opt.kind());
+        assert_eq!(fast.slots, slow.slots, "{:?} slots diverged", opt.kind());
+        assert_eq!(fast.w16, slow.w16, "{:?} w16 diverged", opt.kind());
+    }
+
+    #[test]
+    fn batched_matches_scalar_all_kinds_and_dtypes() {
+        let opts: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Adam::default()),
+            Box::new(AdamW::default()),
+            Box::new(SgdMomentum::default()),
+            Box::new(Adagrad::default()),
+            Box::new(crate::optimizer::Lion::default()),
+        ];
+        for opt in &opts {
+            for dtype in [GradDtype::F16, GradDtype::Bf16] {
+                // Non-block-aligned count: exercises the tail block.
+                assert_batched_matches_scalar(opt.as_ref(), 3 * BATCH_BLOCK + 37, dtype, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_on_tiny_and_exact_blocks() {
+        let adam = Adam::default();
+        for n in [0, 1, BATCH_BLOCK - 1, BATCH_BLOCK, BATCH_BLOCK + 1] {
+            assert_batched_matches_scalar(&adam, n, GradDtype::F16, 2);
+        }
+    }
+
+    #[test]
+    fn batched_matches_scalar_with_nan_gradients() {
+        let adam = Adam::default();
+        let n = BATCH_BLOCK + 9;
+        let weights: Vec<f32> = (0..n).map(|i| (i as f32) * 0.01).collect();
+        let mut grad_f32: Vec<f32> = vec![0.5; n];
+        grad_f32[3] = f32::NAN;
+        grad_f32[BATCH_BLOCK + 1] = f32::NAN;
+        let grads = encode_grads(&grad_f32, GradDtype::F16);
+
+        let mut fast = StateBuffers::init(&adam, &weights, GradDtype::F16);
+        let mut slow = fast.clone();
+        fast.step(&adam, &grads, GradDtype::F16, 1).unwrap();
+        let mut slot_refs: Vec<&mut [u8]> =
+            slow.slots.iter_mut().map(|s| s.as_mut_slice()).collect();
+        update_chunk_scalar(
+            &adam,
+            &mut slow.w32,
+            &mut slot_refs,
+            &grads,
+            &mut slow.w16,
+            GradDtype::F16,
+            1,
+        )
+        .unwrap();
+        assert_eq!(fast.w32, slow.w32);
+        assert_eq!(fast.slots, slow.slots);
+        assert_eq!(fast.w16, slow.w16);
+    }
+
+    #[test]
+    fn force_scalar_pins_the_reference_path() {
+        set_force_scalar(true);
+        assert!(force_scalar());
+        let adam = Adam::default();
+        // Still bit-identical — the toggle only selects the implementation.
+        let mut buf = StateBuffers::init(&adam, &[1.0, 2.0], GradDtype::F16);
+        let grads = grads_bytes(2, 0.5);
+        buf.step(&adam, &grads, GradDtype::F16, 1).unwrap();
+        set_force_scalar(false);
+        let mut buf2 = StateBuffers::init(&adam, &[1.0, 2.0], GradDtype::F16);
+        buf2.step(&adam, &grads, GradDtype::F16, 1).unwrap();
+        assert_eq!(buf, buf2);
+    }
+
+    #[test]
+    fn encode_grads_into_matches_encode_grads() {
+        let grads: Vec<f32> = (0..19).map(|i| (i as f32) * 0.21 - 1.5).collect();
+        for dtype in [GradDtype::F16, GradDtype::Bf16] {
+            let owned = encode_grads(&grads, dtype);
+            let mut out = vec![0xAAu8; 2 * grads.len() + 6];
+            encode_grads_into(&grads, dtype, &mut out);
+            assert_eq!(&out[..2 * grads.len()], &owned[..]);
+            assert!(out[2 * grads.len()..].iter().all(|&b| b == 0xAA));
+        }
     }
 
     #[test]

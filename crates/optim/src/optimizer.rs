@@ -136,6 +136,7 @@ impl Optimizer for Adam {
         self.params.lr = lr;
     }
 
+    #[inline]
     fn update_scalar(&self, w: f32, slots: &mut [f32], grad: f32, step: u64) -> f32 {
         let p = &self.params;
         let m = p.beta1 * slots[0] + (1.0 - p.beta1) * grad;
@@ -178,6 +179,7 @@ impl Optimizer for AdamW {
         self.params.lr = lr;
     }
 
+    #[inline]
     fn update_scalar(&self, w: f32, slots: &mut [f32], grad: f32, step: u64) -> f32 {
         let p = &self.params;
         let m = p.beta1 * slots[0] + (1.0 - p.beta1) * grad;
@@ -221,6 +223,7 @@ impl Optimizer for SgdMomentum {
         self.params.lr = lr;
     }
 
+    #[inline]
     fn update_scalar(&self, w: f32, slots: &mut [f32], grad: f32, _step: u64) -> f32 {
         let p = &self.params;
         let m = p.momentum * slots[0] + grad;
@@ -257,6 +260,7 @@ impl Optimizer for Adagrad {
         self.params.lr = lr;
     }
 
+    #[inline]
     fn update_scalar(&self, w: f32, slots: &mut [f32], grad: f32, _step: u64) -> f32 {
         let p = &self.params;
         let acc = slots[0] + grad * grad;
@@ -315,6 +319,7 @@ impl Optimizer for Lion {
         self.params.lr = lr;
     }
 
+    #[inline]
     fn update_scalar(&self, w: f32, slots: &mut [f32], grad: f32, _step: u64) -> f32 {
         let p = &self.params;
         let m = slots[0];

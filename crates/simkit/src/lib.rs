@@ -49,6 +49,7 @@ mod resource;
 mod time;
 
 pub mod par;
+pub mod pool;
 pub mod stats;
 
 pub use event::{EventQueue, ScheduledEvent};

@@ -1,0 +1,310 @@
+//! Reusable page-buffer pool for the byte-only hot path.
+//!
+//! The executor and the host baselines move NAND-page-sized byte buffers
+//! through every step: gradient staging, operand gather, write-back. Naïve
+//! code allocates a fresh `Vec<u8>` per page per step; this module recycles
+//! them instead. [`PageBuf`] is a drop-recycled owned byte buffer —
+//! checkout via [`PageBuf::zeroed`] or [`PageBuf::copy_of`], and the
+//! backing allocation returns to the pool when the buffer is dropped.
+//!
+//! # Design: thread-local fast path, global injector
+//!
+//! `simkit::par` runs its deterministic phases on *scoped* worker threads —
+//! fresh OS threads per `map_indexed` call whose thread-locals die with the
+//! scope — and checked-out buffers routinely migrate to the main thread as
+//! phase results before being dropped. A pure thread-local free list would
+//! therefore never recycle anything. Instead each thread keeps a small
+//! local stack (capacity [`LOCAL_CAP`]) for the common same-thread
+//! checkout/return cycle, backed by a global mutex-protected injector:
+//! checkouts that miss locally grab a batch from the injector; returns
+//! that overflow locally (and every thread-local stack at thread exit)
+//! flush to it. The mutex is uncontended in steady state — workers touch
+//! it once per [`GRAB_BATCH`] pages.
+//!
+//! # Determinism
+//!
+//! The pool affects *where an allocation comes from*, never the bytes in
+//! it: both constructors fully initialize the buffer. Whether a phase runs
+//! serial or eight-wide, a `PageBuf` holds exactly the bytes its
+//! constructor wrote, so the PR 4 serial/parallel bit-exactness invariant
+//! is untouched.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Capacity of each thread-local free stack.
+const LOCAL_CAP: usize = 16;
+
+/// Buffers pulled from the global injector on a local miss.
+const GRAB_BATCH: usize = 8;
+
+/// Global overflow/injector list shared by all threads.
+static GLOBAL_FREE: Mutex<Vec<Vec<u8>>> = Mutex::new(Vec::new());
+
+/// Total checkouts served (fresh + recycled).
+static CHECKOUTS: AtomicU64 = AtomicU64::new(0);
+/// Checkouts that had to allocate from the system allocator.
+static FRESH_ALLOCS: AtomicU64 = AtomicU64::new(0);
+/// Checkouts served from a free list (local or global).
+static RECYCLED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static LOCAL_FREE: RefCell<LocalStack> = const { RefCell::new(LocalStack(Vec::new())) };
+}
+
+/// Thread-local free stack whose drop (at thread exit) flushes every
+/// surviving buffer to the global injector — this is what lets buffers
+/// allocated on short-lived `simkit::par` workers outlive the worker.
+struct LocalStack(Vec<Vec<u8>>);
+
+impl Drop for LocalStack {
+    fn drop(&mut self) {
+        if !self.0.is_empty() {
+            if let Ok(mut g) = GLOBAL_FREE.lock() {
+                g.append(&mut self.0);
+            }
+        }
+    }
+}
+
+/// Pulls a reusable allocation: thread-local stack first, then a batch
+/// from the global injector, else `None` (caller allocates fresh).
+fn checkout_raw() -> Option<Vec<u8>> {
+    LOCAL_FREE
+        .try_with(|local| {
+            let mut local = local.borrow_mut();
+            if let Some(buf) = local.0.pop() {
+                return Some(buf);
+            }
+            let mut g = GLOBAL_FREE.lock().ok()?;
+            if g.is_empty() {
+                return None;
+            }
+            let take = GRAB_BATCH.min(g.len());
+            let at = g.len() - take;
+            local.0.extend(g.drain(at..));
+            drop(g);
+            local.0.pop()
+        })
+        .ok()
+        .flatten()
+}
+
+/// Returns an allocation to the pool (local stack, overflow to global).
+fn recycle_raw(buf: Vec<u8>) {
+    let mut pending = Some(buf);
+    let _ = LOCAL_FREE.try_with(|local| {
+        let mut local = local.borrow_mut();
+        if local.0.len() < LOCAL_CAP {
+            local.0.push(pending.take().expect("buffer consumed twice"));
+        }
+    });
+    if let Some(buf) = pending {
+        // Local stack full or TLS already torn down: hand to the injector
+        // so another thread (or a later phase) reuses it.
+        if let Ok(mut g) = GLOBAL_FREE.lock() {
+            g.push(buf);
+        }
+    }
+}
+
+/// An owned, pool-recycled byte buffer.
+///
+/// Behaves like a `Vec<u8>` of fixed length (deref to `[u8]`); dropping it
+/// returns the backing allocation to the pool for the next checkout.
+pub struct PageBuf {
+    buf: Vec<u8>,
+}
+
+impl PageBuf {
+    /// Checks out a buffer of `len` bytes, all zero.
+    pub fn zeroed(len: usize) -> Self {
+        CHECKOUTS.fetch_add(1, Ordering::Relaxed);
+        match checkout_raw() {
+            Some(mut buf) => {
+                RECYCLED.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.resize(len, 0);
+                PageBuf { buf }
+            }
+            None => {
+                FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+                PageBuf {
+                    buf: vec![0u8; len],
+                }
+            }
+        }
+    }
+
+    /// Checks out a buffer initialized as a copy of `src`.
+    pub fn copy_of(src: &[u8]) -> Self {
+        CHECKOUTS.fetch_add(1, Ordering::Relaxed);
+        match checkout_raw() {
+            Some(mut buf) => {
+                RECYCLED.fetch_add(1, Ordering::Relaxed);
+                buf.clear();
+                buf.extend_from_slice(src);
+                PageBuf { buf }
+            }
+            None => {
+                FRESH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+                PageBuf { buf: src.to_vec() }
+            }
+        }
+    }
+
+    /// Buffer length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Drop for PageBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() > 0 {
+            recycle_raw(buf);
+        }
+    }
+}
+
+impl Deref for PageBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for PageBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl AsRef<[u8]> for PageBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl std::fmt::Debug for PageBuf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageBuf").field("len", &self.len()).finish()
+    }
+}
+
+impl Clone for PageBuf {
+    fn clone(&self) -> Self {
+        PageBuf::copy_of(&self.buf)
+    }
+}
+
+/// Snapshot of the pool's lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total buffer checkouts served.
+    pub checkouts: u64,
+    /// Checkouts that hit the system allocator.
+    pub fresh_allocs: u64,
+    /// Checkouts served from a free list.
+    pub recycled: u64,
+}
+
+/// Reads the pool's lifetime counters (process-global, monotonic).
+pub fn stats() -> PoolStats {
+    PoolStats {
+        checkouts: CHECKOUTS.load(Ordering::Relaxed),
+        fresh_allocs: FRESH_ALLOCS.load(Ordering::Relaxed),
+        recycled: RECYCLED.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_zero_even_after_recycling_dirty_bytes() {
+        for _ in 0..4 {
+            let mut b = PageBuf::zeroed(512);
+            assert!(b.iter().all(|&x| x == 0));
+            b.iter_mut().for_each(|x| *x = 0xFF);
+            // drop returns the dirty allocation to the pool
+        }
+        let b = PageBuf::zeroed(512);
+        assert!(b.iter().all(|&x| x == 0), "recycled buffer not re-zeroed");
+    }
+
+    #[test]
+    fn copy_of_matches_source_exactly() {
+        let src: Vec<u8> = (0..300).map(|i| (i % 251) as u8).collect();
+        let b = PageBuf::copy_of(&src);
+        assert_eq!(&*b, &src[..]);
+    }
+
+    #[test]
+    fn live_buffers_never_alias() {
+        // Checkout more live buffers than any free list could hold; write a
+        // distinct pattern into each; verify none clobbered another.
+        let mut bufs: Vec<PageBuf> = (0..64).map(|_| PageBuf::zeroed(64)).collect();
+        for (i, b) in bufs.iter_mut().enumerate() {
+            b.iter_mut().for_each(|x| *x = i as u8);
+        }
+        for (i, b) in bufs.iter().enumerate() {
+            assert!(
+                b.iter().all(|&x| x == i as u8),
+                "buffer {i} shares storage with another live buffer"
+            );
+        }
+    }
+
+    #[test]
+    fn recycling_is_observed_on_repeated_cycles() {
+        let before = stats();
+        for _ in 0..32 {
+            let _b = PageBuf::zeroed(1024);
+        }
+        let after = stats();
+        assert_eq!(after.checkouts - before.checkouts, 32);
+        assert!(
+            after.recycled > before.recycled,
+            "drop/checkout cycle never reused an allocation"
+        );
+    }
+
+    #[test]
+    fn buffers_survive_scoped_worker_threads() {
+        // Mimic simkit::par: scoped workers allocate, results migrate to
+        // the parent, workers die. The allocations must land back in the
+        // pool (via the TLS drop-flush) rather than leak forever.
+        let made: Vec<PageBuf> = std::thread::scope(|s| {
+            (0..8)
+                .map(|i| {
+                    s.spawn(move || {
+                        let mut b = PageBuf::zeroed(256);
+                        b[0] = i as u8;
+                        b
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for (i, b) in made.iter().enumerate() {
+            assert_eq!(b[0], i as u8);
+        }
+        drop(made);
+        let before = stats();
+        let _again: Vec<PageBuf> = (0..8).map(|_| PageBuf::zeroed(256)).collect();
+        let after = stats();
+        assert!(after.recycled > before.recycled);
+    }
+}

@@ -5,7 +5,6 @@
 //! its optimizer state, so untouched chunks cost nothing.
 
 use crate::address::{Lpn, Ppa};
-use std::collections::HashMap;
 
 /// Entries per lazily-allocated L2P chunk (64 Ki pages ≈ 512 KiB per chunk).
 const CHUNK: usize = 1 << 16;
@@ -76,49 +75,80 @@ impl L2pTable {
 }
 
 /// The physical→logical reverse map, kept per block so garbage collection
-/// can find the owner of each valid page. Block entries are dropped on
-/// erase, bounding memory to blocks actually in use.
-#[derive(Debug, Default)]
+/// can find the owner of each valid page.
+///
+/// Layout mirrors the chunked L2P: one dense lane per die, indexed by the
+/// die's flat block index, each entry a lazily boxed per-page slab of
+/// `lpn + 1` values (0 = none). A die's lane itself materializes only once
+/// the die holds a mapping, and block slabs are dropped on erase — so
+/// phantom terabyte geometries pay only for blocks actually in use while
+/// every lookup is two array indexings instead of a hash probe.
+#[derive(Debug)]
 pub struct ReverseMap {
-    /// `(die_flat, block_flat)` → per-page `lpn + 1` (0 = none).
-    blocks: HashMap<(u32, u64), Vec<u64>>,
+    /// `dies[die_flat]` — empty until the die's first mapping, then
+    /// `blocks_per_die` slots of per-block page slabs.
+    dies: Vec<Vec<Option<Box<[u64]>>>>,
+    blocks_per_die: usize,
     pages_per_block: usize,
+    /// Live (allocated) block slabs, across all dies.
+    tracked: usize,
 }
 
 impl ReverseMap {
-    /// Creates a reverse map for blocks of `pages_per_block` pages.
-    pub fn new(pages_per_block: u32) -> Self {
+    /// Creates a reverse map for `total_dies` dies of `blocks_per_die`
+    /// blocks, each block holding `pages_per_block` pages.
+    pub fn new(total_dies: u32, blocks_per_die: u64, pages_per_block: u32) -> Self {
         ReverseMap {
-            blocks: HashMap::new(),
+            dies: (0..total_dies).map(|_| Vec::new()).collect(),
+            blocks_per_die: blocks_per_die as usize,
             pages_per_block: pages_per_block as usize,
+            tracked: 0,
         }
     }
 
     /// Records that physical page `(die_flat, block_flat, page)` now holds
-    /// `lpn`.
+    /// `lpn`. `block_flat` is the die-local dense block index
+    /// (`plane * blocks_per_plane + block`).
     pub fn set(&mut self, die_flat: u32, block_flat: u64, page: u32, lpn: Lpn) {
-        let entry = self
-            .blocks
-            .entry((die_flat, block_flat))
-            .or_insert_with(|| vec![0; self.pages_per_block]);
-        entry[page as usize] = lpn.0 + 1;
+        let lane = &mut self.dies[die_flat as usize];
+        if lane.is_empty() {
+            lane.resize_with(self.blocks_per_die, || None);
+        }
+        let slab = &mut lane[block_flat as usize];
+        if slab.is_none() {
+            *slab = Some(vec![0u64; self.pages_per_block].into_boxed_slice());
+            self.tracked += 1;
+        }
+        slab.as_mut().expect("slab just ensured")[page as usize] = lpn.0 + 1;
     }
 
     /// The logical owner of a physical page, if recorded.
     pub fn get(&self, die_flat: u32, block_flat: u64, page: u32) -> Option<Lpn> {
-        let entry = self.blocks.get(&(die_flat, block_flat))?;
-        let v = entry[page as usize];
+        let slab = self
+            .dies
+            .get(die_flat as usize)?
+            .get(block_flat as usize)?
+            .as_ref()?;
+        let v = slab[page as usize];
         (v != 0).then(|| Lpn(v - 1))
     }
 
     /// Forgets a whole block (after erase).
     pub fn clear_block(&mut self, die_flat: u32, block_flat: u64) {
-        self.blocks.remove(&(die_flat, block_flat));
+        if let Some(slab) = self
+            .dies
+            .get_mut(die_flat as usize)
+            .and_then(|lane| lane.get_mut(block_flat as usize))
+        {
+            if slab.take().is_some() {
+                self.tracked -= 1;
+            }
+        }
     }
 
-    /// Number of blocks currently tracked.
+    /// Number of blocks currently tracked (live slabs).
     pub fn tracked_blocks(&self) -> usize {
-        self.blocks.len()
+        self.tracked
     }
 }
 
@@ -176,7 +206,7 @@ mod tests {
 
     #[test]
     fn reverse_map_round_trips() {
-        let mut r = ReverseMap::new(64);
+        let mut r = ReverseMap::new(8, 40, 64);
         assert_eq!(r.get(3, 7, 5), None);
         r.set(3, 7, 5, Lpn(0)); // lpn 0 must be representable
         r.set(3, 7, 6, Lpn(99));
@@ -185,6 +215,33 @@ mod tests {
         assert_eq!(r.tracked_blocks(), 1);
         r.clear_block(3, 7);
         assert_eq!(r.get(3, 7, 5), None);
+        assert_eq!(r.tracked_blocks(), 0);
+    }
+
+    #[test]
+    fn reverse_map_slabs_allocate_lazily() {
+        let mut r = ReverseMap::new(16, 1 << 20, 64);
+        // Untouched dies carry no lane; touched dies one slab per block.
+        assert_eq!(r.tracked_blocks(), 0);
+        assert!(r.dies.iter().all(|lane| lane.is_empty()));
+        r.set(5, 0, 0, Lpn(1));
+        r.set(5, (1 << 20) - 1, 63, Lpn(2));
+        assert_eq!(r.tracked_blocks(), 2, "only touched blocks materialize");
+        assert_eq!(
+            r.dies.iter().filter(|lane| !lane.is_empty()).count(),
+            1,
+            "only touched dies materialize a lane"
+        );
+        assert_eq!(r.get(5, (1 << 20) - 1, 63), Some(Lpn(2)));
+    }
+
+    #[test]
+    fn reverse_map_clear_is_idempotent() {
+        let mut r = ReverseMap::new(2, 4, 8);
+        r.clear_block(0, 3); // never set: no-op
+        r.set(1, 2, 7, Lpn(5));
+        r.clear_block(1, 2);
+        r.clear_block(1, 2);
         assert_eq!(r.tracked_blocks(), 0);
     }
 }

@@ -28,18 +28,27 @@ pub struct Ftl {
     rmap: ReverseMap,
     alloc: Vec<DieAlloc>,
     dies_per_channel: u32,
+    /// Blocks per plane, needed to fold `(plane, block)` into the dense
+    /// per-die block index the reverse map is addressed by.
+    blocks_per_plane: u32,
 }
 
 impl Ftl {
     /// Creates the FTL for `config`, with every block of every die free.
     pub fn new(config: &SsdConfig, dies: &[Die]) -> Self {
+        let geo = config.nand.geometry;
         Ftl {
             // Sized to the addressable space: host-visible pages plus (with
             // RAIN armed) the internal parity LPNs beyond them.
             l2p: L2pTable::new(config.addressable_pages(), config.dies_per_channel),
-            rmap: ReverseMap::new(config.nand.geometry.pages_per_block),
+            rmap: ReverseMap::new(
+                config.total_dies(),
+                geo.blocks_per_die(),
+                geo.pages_per_block,
+            ),
             alloc: dies.iter().map(DieAlloc::new).collect(),
             dies_per_channel: config.dies_per_channel,
+            blocks_per_plane: geo.blocks_per_plane,
         }
     }
 
@@ -98,12 +107,8 @@ impl Ftl {
     /// caller must invalidate on its die).
     pub fn commit_program(&mut self, lpn: Lpn, ppa: Ppa) -> Option<Ppa> {
         let die_flat = ppa.die.flat(self.dies_per_channel);
-        self.rmap.set(
-            die_flat,
-            rmap_key(ppa.page.block_addr()),
-            ppa.page.page,
-            lpn,
-        );
+        let key = rmap_key(ppa.page.block_addr(), self.blocks_per_plane);
+        self.rmap.set(die_flat, key, ppa.page.page, lpn);
         self.l2p.set(lpn, ppa)
     }
 
@@ -112,15 +117,16 @@ impl Ftl {
     pub fn owner_of(&self, ppa: Ppa, die: &Die) -> Option<Lpn> {
         let _ = die;
         let die_flat = ppa.die.flat(self.dies_per_channel);
-        self.rmap
-            .get(die_flat, rmap_key(ppa.page.block_addr()), ppa.page.page)
+        let key = rmap_key(ppa.page.block_addr(), self.blocks_per_plane);
+        self.rmap.get(die_flat, key, ppa.page.page)
     }
 
     /// Forgets a block's reverse mappings and returns it to the free pool
     /// (after the caller erased it).
     pub fn reclaim_block(&mut self, die_flat: u32, block: nandsim::BlockAddr, die: &Die) {
         let _ = die;
-        self.rmap.clear_block(die_flat, rmap_key(block));
+        self.rmap
+            .clear_block(die_flat, rmap_key(block, self.blocks_per_plane));
         self.alloc[die_flat as usize].push_free(block);
     }
 
@@ -143,12 +149,8 @@ impl Ftl {
     /// without touching the L2P table.
     pub fn record_shadow(&mut self, lpn: Lpn, ppa: Ppa) {
         let die_flat = ppa.die.flat(self.dies_per_channel);
-        self.rmap.set(
-            die_flat,
-            rmap_key(ppa.page.block_addr()),
-            ppa.page.page,
-            lpn,
-        );
+        let key = rmap_key(ppa.page.block_addr(), self.blocks_per_plane);
+        self.rmap.set(die_flat, key, ppa.page.page, lpn);
     }
 
     /// Replaces one die's allocation state (mount recovery rebuilds it from
@@ -169,11 +171,12 @@ impl Ftl {
     }
 }
 
-/// Reverse-map key for a block: `(plane, block)` folded into one `u64`.
-/// Unique within a die and independent of geometry, so the FTL never needs
-/// a die reference just to address its own bookkeeping.
-pub fn rmap_key(block: nandsim::BlockAddr) -> u64 {
-    ((block.plane as u64) << 32) | block.block as u64
+/// Reverse-map key for a block: the die-local *dense* block index
+/// (`plane * blocks_per_plane + block`, i.e.
+/// [`nandsim::NandGeometry::block_index`] semantics), which is what lets
+/// [`ReverseMap`] use flat slab arrays instead of a hash map.
+pub fn rmap_key(block: nandsim::BlockAddr, blocks_per_plane: u32) -> u64 {
+    block.plane as u64 * blocks_per_plane as u64 + block.block as u64
 }
 
 #[cfg(test)]
